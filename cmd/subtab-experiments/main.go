@@ -1,0 +1,99 @@
+// Command subtab-experiments regenerates every table and figure of the
+// paper's evaluation section (§6) and prints them in the paper's layout:
+// Table 1 and Figure 5 (simulated user study), Figure 6 (EDA-session
+// replay on CY), Figure 7 (slow baselines on FL), Figure 8 (quality
+// metrics), Figure 9 (runtime split), Figure 10 (parameter tuning).
+//
+// Usage:
+//
+//	subtab-experiments -run all -scale bench
+//	subtab-experiments -run fig8,fig9 -scale paper -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"subtab/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subtab-experiments: ")
+
+	var (
+		run   = flag.String("run", "all", "experiments: all or comma list of table1,fig5,fig6,fig7,fig8,fig9,fig10")
+		scale = flag.String("scale", "bench", "bench (seconds) or paper (scaled paper row counts, minutes)")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var lab *experiments.Lab
+	switch *scale {
+	case "bench":
+		lab = experiments.NewLab(*seed)
+	case "paper":
+		lab = experiments.NewPaperLab(*seed)
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, e := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	start := time.Now()
+	if want["table1"] || want["fig5"] {
+		res, err := lab.UserStudy()
+		if err != nil {
+			log.Fatalf("user study: %v", err)
+		}
+		fmt.Println(res)
+	}
+	if want["fig6"] {
+		res, err := lab.Fig6(122)
+		if err != nil {
+			log.Fatalf("fig6: %v", err)
+		}
+		fmt.Println(res)
+	}
+	if want["fig7"] {
+		res, err := lab.Fig7()
+		if err != nil {
+			log.Fatalf("fig7: %v", err)
+		}
+		fmt.Println(res)
+	}
+	if want["fig8"] {
+		res, err := lab.Fig8()
+		if err != nil {
+			log.Fatalf("fig8: %v", err)
+		}
+		fmt.Println(res)
+	}
+	if want["fig9"] {
+		res, err := lab.Fig9()
+		if err != nil {
+			log.Fatalf("fig9: %v", err)
+		}
+		fmt.Println(res)
+	}
+	if want["fig10"] {
+		res, err := lab.Fig10()
+		if err != nil {
+			log.Fatalf("fig10: %v", err)
+		}
+		fmt.Println(res)
+	}
+	fmt.Printf("total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,143 @@
+// Command subtab reads a CSV file and prints an informative k×l sub-table,
+// optionally restricted to a selection query and with association-rule
+// patterns highlighted (the paper's Figure 1 workflow).
+//
+// Usage:
+//
+//	subtab -input flights.csv -rows 10 -cols 10 -targets CANCELLED -highlight
+//	subtab -input flights.csv -where 'CANCELLED=1' -rows 10 -cols 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"subtab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subtab: ")
+
+	var (
+		input     = flag.String("input", "", "input CSV file (required)")
+		rows      = flag.Int("rows", 10, "sub-table rows (k)")
+		cols      = flag.Int("cols", 10, "sub-table columns (l)")
+		targets   = flag.String("targets", "", "comma-separated target columns always included")
+		where     = flag.String("where", "", "selection, e.g. 'CANCELLED=1' or 'DISTANCE>=1600' (AND with commas)")
+		highlight = flag.Bool("highlight", false, "highlight association-rule patterns with [ ] markers")
+		bins      = flag.Int("bins", 5, "bins per column")
+		dim       = flag.Int("dim", 32, "embedding dimensionality")
+		epochs    = flag.Int("epochs", 3, "embedding training epochs")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	t, err := subtab.ReadCSVFile(*input)
+	if err != nil {
+		log.Fatalf("reading %s: %v", *input, err)
+	}
+	fmt.Printf("loaded %s: %d rows x %d columns\n", *input, t.NumRows(), t.NumCols())
+
+	opt := subtab.DefaultOptions()
+	opt.Bins.MaxBins = *bins
+	opt.Bins.Seed = *seed
+	opt.Corpus.Seed = *seed
+	opt.Embedding = subtab.EmbeddingOptions{Dim: *dim, Epochs: *epochs, Seed: *seed}
+	opt.ClusterSeed = *seed
+
+	model, err := subtab.Preprocess(t, opt)
+	if err != nil {
+		log.Fatalf("pre-processing: %v", err)
+	}
+
+	var tgt []string
+	if *targets != "" {
+		tgt = strings.Split(*targets, ",")
+	}
+	q, err := parseWhere(t, *where)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := model.SelectQuery(q, *rows, *cols, tgt)
+	if err != nil {
+		log.Fatalf("selecting sub-table: %v", err)
+	}
+
+	if !*highlight {
+		fmt.Println()
+		fmt.Print(st.View)
+		return
+	}
+	rs, err := subtab.MineRules(model, subtab.MiningOptions{TargetCols: tgt})
+	if err != nil {
+		log.Fatalf("mining rules: %v", err)
+	}
+	hl, perRow := subtab.Highlight(model, rs, st)
+	fmt.Println()
+	fmt.Print(st.View.Render(hl))
+	fmt.Println()
+	for i, ri := range perRow {
+		if ri >= 0 {
+			fmt.Printf("row %d: %s\n", i+1, rs[ri].Label(model.B))
+		}
+	}
+}
+
+// parseWhere parses a tiny predicate language: comma-separated terms of the
+// form col=value, col!=value, col>=num, col<=num, col>num, col<num.
+func parseWhere(t *subtab.Table, s string) (*subtab.Query, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	q := &subtab.Query{}
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		var opStr string
+		var op = subtab.Eq
+		switch {
+		case strings.Contains(term, ">="):
+			opStr, op = ">=", subtab.Geq
+		case strings.Contains(term, "<="):
+			opStr, op = "<=", subtab.Leq
+		case strings.Contains(term, "!="):
+			opStr, op = "!=", subtab.Neq
+		case strings.Contains(term, ">"):
+			opStr, op = ">", subtab.Gt
+		case strings.Contains(term, "<"):
+			opStr, op = "<", subtab.Lt
+		case strings.Contains(term, "="):
+			opStr, op = "=", subtab.Eq
+		default:
+			return nil, fmt.Errorf("cannot parse predicate %q", term)
+		}
+		parts := strings.SplitN(term, opStr, 2)
+		col := strings.TrimSpace(parts[0])
+		val := strings.TrimSpace(parts[1])
+		c := t.Column(col)
+		if c == nil {
+			return nil, fmt.Errorf("unknown column %q", col)
+		}
+		p := subtab.Predicate{Col: col, Op: op}
+		if c.Kind == subtab.Numeric {
+			num, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("numeric column %q needs a numeric comparand, got %q", col, val)
+			}
+			p.Num = num
+		} else {
+			p.Str = val
+		}
+		q.Where = append(q.Where, p)
+	}
+	return q, nil
+}

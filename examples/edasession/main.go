@@ -1,0 +1,87 @@
+// EDA session: the paper's Figure 2 workflow. The analyst fires exploratory
+// queries at a cyber-security log; each query result is displayed as an
+// informative sub-table, re-using the embedding computed once at load time —
+// which is why each display takes milliseconds, not the full pipeline cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"subtab"
+)
+
+func main() {
+	ds, err := subtab.GenerateDataset("CY", 5000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cyber log: %d rows x %d columns\n", ds.T.NumRows(), ds.T.NumCols())
+
+	start := time.Now()
+	opt := subtab.DefaultOptions()
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 24, Epochs: 3, Seed: 3}
+	model, err := subtab.Preprocess(ds.T, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-processing (once): %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	session := []struct {
+		title string
+		q     *subtab.Query
+	}{
+		{"high-severity events", &subtab.Query{
+			Where: []subtab.Predicate{{Col: "severity", Op: subtab.Eq, Str: "high"}},
+		}},
+		{"ssh traffic on port 22", &subtab.Query{
+			Where: []subtab.Predicate{{Col: "dst_port", Op: subtab.Eq, Num: 22}},
+		}},
+		{"attacks by type (group-by)", &subtab.Query{
+			GroupBy: []string{"attack_type"},
+			Aggs:    []subtab.Aggregate{{Func: subtab.Count}, {Func: subtab.Mean, Col: "bytes_out"}},
+		}},
+		{"longest sessions first", &subtab.Query{
+			OrderBy: "duration", Asc: false, Limit: 500,
+		}},
+	}
+
+	for i, step := range session {
+		start := time.Now()
+		st, err := model.SelectQuery(step.q, 6, 6, nil)
+		if err != nil {
+			log.Printf("step %d (%s): %v", i+1, step.title, err)
+			continue
+		}
+		fmt.Printf("step %d — %s\n  query: %s\n  selection took %s\n",
+			i+1, step.title, step.q, time.Since(start).Round(time.Millisecond))
+		fmt.Print(indent(st.View.String()))
+		fmt.Println()
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

@@ -1,0 +1,36 @@
+// Quickstart: build a table, pre-process it once, and display an
+// informative sub-table — the minimal SubTab workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subtab"
+)
+
+func main() {
+	// A toy flights-like table; in practice use subtab.ReadCSVFile.
+	ds, err := subtab.GenerateDataset("FL", 2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := ds.T
+	fmt.Printf("full table: %d rows x %d columns — too large to eyeball\n\n", t.NumRows(), t.NumCols())
+
+	// Pre-processing runs once per table (binning + cell embedding).
+	opt := subtab.DefaultOptions()
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 24, Epochs: 3, Seed: 1}
+	model, err := subtab.Preprocess(t, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Selection is interactive: here a 8x6 display of the whole table.
+	st, err := model.Select(8, 6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("informative 8x6 sub-table:")
+	fmt.Print(st.View)
+}

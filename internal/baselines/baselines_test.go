@@ -1,0 +1,418 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"subtab/internal/binning"
+	"subtab/internal/metrics"
+	"subtab/internal/rules"
+	"subtab/internal/table"
+	"subtab/internal/word2vec"
+)
+
+// plantedEvaluator builds a small table with clear patterns, mines rules and
+// wraps them in an evaluator.
+func plantedEvaluator(t *testing.T, n int, seed int64) *metrics.Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]string, n)
+	b := make([]string, n)
+	c := make([]string, n)
+	d := make([]string, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			a[i], b[i], c[i] = "a1", "b1", "c1"
+		case 1:
+			a[i], b[i], c[i] = "a2", "b2", "c2"
+		default:
+			a[i], b[i], c[i] = "a3", "b3", "c3"
+		}
+		d[i] = []string{"x", "y"}[rng.Intn(2)]
+	}
+	tab := table.New("planted")
+	for _, col := range []struct {
+		name string
+		vals []string
+	}{{"a", a}, {"b", b}, {"c", c}, {"d", d}} {
+		if err := tab.AddColumn(table.NewCategorical(col.name, col.vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bn, err := binning.Bin(tab, binning.Options{MaxBins: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rules.Mine(bn, rules.Options{MinSupport: 0.2, MinConfidence: 0.5, MinRuleSize: 2, MaxItemsetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules mined on planted data")
+	}
+	return metrics.NewEvaluator(bn, rs, 0.5)
+}
+
+func checkResult(t *testing.T, e *metrics.Evaluator, res *Result, k, l int) {
+	t.Helper()
+	if len(res.ST.Rows) > k {
+		t.Fatalf("rows = %d > k = %d", len(res.ST.Rows), k)
+	}
+	if len(res.ST.Cols) > l {
+		t.Fatalf("cols = %d > l = %d", len(res.ST.Cols), l)
+	}
+	n, m := e.B.NumRows(), e.B.NumCols()
+	seenR := map[int]bool{}
+	for _, r := range res.ST.Rows {
+		if r < 0 || r >= n || seenR[r] {
+			t.Fatalf("bad rows %v", res.ST.Rows)
+		}
+		seenR[r] = true
+	}
+	seenC := map[int]bool{}
+	for _, c := range res.ST.Cols {
+		if c < 0 || c >= m || seenC[c] {
+			t.Fatalf("bad cols %v", res.ST.Cols)
+		}
+		seenC[c] = true
+	}
+	if res.Score < 0 || res.Score > 1 {
+		t.Fatalf("score = %v", res.Score)
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	e := plantedEvaluator(t, 60, 1)
+	res, err := Random(e, RandomOptions{K: 4, L: 3, MaxIters: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, e, res, 4, 3)
+	if res.Iterations != 50 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	// Best-of-50 should beat best-of-1 (weakly).
+	one, err := Random(e, RandomOptions{K: 4, L: 3, MaxIters: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Score > res.Score {
+		t.Fatalf("more draws should not hurt: %v > %v", one.Score, res.Score)
+	}
+}
+
+func TestRandomWithTargets(t *testing.T) {
+	e := plantedEvaluator(t, 60, 2)
+	res, err := Random(e, RandomOptions{K: 3, L: 2, Targets: []string{"c"}, MaxIters: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := e.B.T.ColumnIndex("c")
+	found := false
+	for _, c := range res.ST.Cols {
+		if c == ci {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target column missing: %v", res.ST.Cols)
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	e := plantedEvaluator(t, 30, 3)
+	if _, err := Random(e, RandomOptions{K: 0, L: 3}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Random(e, RandomOptions{K: 3, L: 3, Targets: []string{"nope"}}); err == nil {
+		t.Fatal("unknown target should error")
+	}
+	if _, err := Random(e, RandomOptions{K: 3, L: 0, Targets: []string{"a"}}); err == nil {
+		t.Fatal("targets > l should error")
+	}
+}
+
+func TestRandomTimeBudget(t *testing.T) {
+	e := plantedEvaluator(t, 30, 4)
+	start := time.Now()
+	res, err := Random(e, RandomOptions{K: 3, L: 3, TimeBudget: 30 * time.Millisecond, MaxIters: 1 << 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("time budget ignored")
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations within budget")
+	}
+}
+
+func TestNaiveClustering(t *testing.T) {
+	e := plantedEvaluator(t, 60, 5)
+	res, err := NaiveClustering(e, NCOptions{K: 3, L: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, e, res, 3, 3)
+}
+
+func TestNaiveClusteringPool(t *testing.T) {
+	e := plantedEvaluator(t, 60, 5)
+	pool := []int{0, 3, 6, 9, 12, 15, 18, 21}
+	res, err := NaiveClustering(e, NCOptions{K: 3, L: 3, RowPool: pool, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPool := map[int]bool{}
+	for _, r := range pool {
+		inPool[r] = true
+	}
+	for _, r := range res.ST.Rows {
+		if !inPool[r] {
+			t.Fatalf("row %d outside pool", r)
+		}
+	}
+}
+
+func TestRandomPool(t *testing.T) {
+	e := plantedEvaluator(t, 60, 5)
+	pool := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := Random(e, RandomOptions{K: 3, L: 3, RowPool: pool, MaxIters: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPool := map[int]bool{}
+	for _, r := range pool {
+		inPool[r] = true
+	}
+	for _, r := range res.ST.Rows {
+		if !inPool[r] {
+			t.Fatalf("row %d outside pool", r)
+		}
+	}
+}
+
+func TestNaiveClusteringTargets(t *testing.T) {
+	e := plantedEvaluator(t, 40, 6)
+	res, err := NaiveClustering(e, NCOptions{K: 3, L: 2, Targets: []string{"a"}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := e.B.T.ColumnIndex("a")
+	found := false
+	for _, c := range res.ST.Cols {
+		if c == ai {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target missing from %v", res.ST.Cols)
+	}
+}
+
+func TestGreedyExhaustive(t *testing.T) {
+	e := plantedEvaluator(t, 30, 7)
+	res, err := Greedy(e, GreedyOptions{K: 3, L: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, e, res, 3, 2)
+	// Exhaustive over C(4,2) = 6 combos.
+	if res.Iterations != 6 {
+		t.Fatalf("combos examined = %d, want 6", res.Iterations)
+	}
+}
+
+func TestGreedyBeatsRandomOnAverage(t *testing.T) {
+	e := plantedEvaluator(t, 60, 8)
+	g, err := Greedy(e, GreedyOptions{K: 4, L: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Random(e, RandomOptions{K: 4, L: 3, MaxIters: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Score < r.Score-0.15 {
+		t.Fatalf("greedy (%v) much worse than 3-draw random (%v)", g.Score, r.Score)
+	}
+}
+
+func TestSemiGreedyMaxCombos(t *testing.T) {
+	e := plantedEvaluator(t, 30, 9)
+	res, err := Greedy(e, GreedyOptions{K: 3, L: 2, RandomOrder: true, MaxCombos: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("combos = %d, want 2", res.Iterations)
+	}
+	checkResult(t, e, res, 3, 2)
+}
+
+// TestGreedyApprox verifies the (1-1/e) guarantee of Prop. 4.3 empirically:
+// greedy row selection achieves at least (1-1/e) of the optimal cell
+// coverage on small random instances.
+func TestGreedyApprox(t *testing.T) {
+	for trial := int64(0); trial < 3; trial++ {
+		e := plantedEvaluator(t, 12, 20+trial)
+		k, l := 2, 2
+		opt, err := BruteForceMaxCoverage(e, k, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy with alpha=1 evaluator (pure coverage).
+		e1 := metrics.NewEvaluator(e.B, e.Rules, 1.0)
+		g, err := Greedy(e1, GreedyOptions{K: k, L: l, Seed: trial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gCov := e1.CellCoverage(g.ST)
+		bound := (1 - 1/2.718281828) * opt.Score
+		if gCov < bound-1e-9 {
+			t.Fatalf("trial %d: greedy coverage %v < (1-1/e)*OPT = %v", trial, gCov, bound)
+		}
+	}
+}
+
+func TestMAB(t *testing.T) {
+	e := plantedEvaluator(t, 40, 10)
+	res, err := MAB(e, MABOptions{K: 3, L: 3, Iterations: 60, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, e, res, 3, 3)
+	if res.Iterations != 60 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestMABImprovesOverIterations(t *testing.T) {
+	e := plantedEvaluator(t, 40, 11)
+	few, err := MAB(e, MABOptions{K: 3, L: 3, Iterations: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := MAB(e, MABOptions{K: 3, L: 3, Iterations: 120, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Score < few.Score {
+		t.Fatalf("more iterations should not hurt: %v < %v", many.Score, few.Score)
+	}
+}
+
+func TestMABTargets(t *testing.T) {
+	e := plantedEvaluator(t, 30, 12)
+	res, err := MAB(e, MABOptions{K: 3, L: 2, Targets: []string{"b"}, Iterations: 20, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := e.B.T.ColumnIndex("b")
+	found := false
+	for _, c := range res.ST.Cols {
+		if c == bi {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target missing: %v", res.ST.Cols)
+	}
+}
+
+func TestEmbDI(t *testing.T) {
+	e := plantedEvaluator(t, 60, 13)
+	res, err := EmbDI(e, EmbDIOptions{
+		K: 3, L: 3,
+		WalksPerNode: 3, WalkLength: 12,
+		Embedding: word2vec.Options{Dim: 12, Epochs: 2, Window: 4, Seed: 13, Workers: 1},
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, e, res, 3, 3)
+}
+
+func TestEmbDIBeatsNothing(t *testing.T) {
+	// EmbDI should at least find distinct patterns on strongly clustered
+	// data — its sub-table should score above the worst possible (0).
+	e := plantedEvaluator(t, 60, 14)
+	res, err := EmbDI(e, EmbDIOptions{
+		K: 3, L: 3,
+		WalksPerNode: 4, WalkLength: 16,
+		Embedding: word2vec.Options{Dim: 12, Epochs: 3, Window: 4, Seed: 14, Workers: 1},
+		Seed:      14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score <= 0 {
+		t.Fatalf("EmbDI score = %v", res.Score)
+	}
+}
+
+func TestBruteForceOptimal(t *testing.T) {
+	e := plantedEvaluator(t, 9, 15)
+	res, err := BruteForce(e, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force is at least as good as any other method.
+	r, err := Random(e, RandomOptions{K: 2, L: 2, MaxIters: 30, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < r.Score-1e-12 {
+		t.Fatalf("brute force (%v) worse than random (%v)", res.Score, r.Score)
+	}
+	g, err := Greedy(e, GreedyOptions{K: 2, L: 2, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < g.Score-1e-12 {
+		t.Fatalf("brute force (%v) worse than greedy (%v)", res.Score, g.Score)
+	}
+}
+
+func TestEnumerateCombos(t *testing.T) {
+	if got := len(enumerateCombos(5, 2)); got != 10 {
+		t.Fatalf("C(5,2) = %d", got)
+	}
+	if got := len(enumerateCombos(4, 0)); got != 1 {
+		t.Fatalf("C(4,0) = %d", got)
+	}
+	if got := enumerateCombos(2, 3); got != nil {
+		t.Fatalf("C(2,3) = %v", got)
+	}
+	// Elements are strictly increasing.
+	for _, c := range enumerateCombos(6, 3) {
+		for i := 1; i < len(c); i++ {
+			if c[i-1] >= c[i] {
+				t.Fatalf("combo not increasing: %v", c)
+			}
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := sampleDistinct(rng, 10, 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, x := range s {
+		if x < 0 || x >= 10 || seen[x] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[x] = true
+	}
+	// k >= n returns everything.
+	all := sampleDistinct(rng, 3, 10)
+	if len(all) != 3 {
+		t.Fatalf("all = %v", all)
+	}
+}

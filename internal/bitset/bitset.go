@@ -1,0 +1,260 @@
+// Package bitset provides a dense, fixed-capacity bitset used throughout the
+// rule miner and the cell-coverage metric. Rule tuple-sets and per-column
+// covered-cell sets are bitsets over row indices, so support counting and
+// coverage aggregation reduce to word-wise AND/OR plus popcounts.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset over [0, Len()). The zero value is an empty set of
+// capacity zero; use New to create one with capacity.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set of capacity n with the given bits set.
+// Indices out of [0,n) are ignored.
+func FromIndices(n int, idx []int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		if i >= 0 && i < n {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i. Out-of-range indices are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear resets all bits to zero, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit in [0, Len()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes bits at positions >= n in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}
+
+// And sets s = s ∩ o. Panics if capacities differ.
+func (s *Set) And(o *Set) {
+	s.check(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// Or sets s = s ∪ o. Panics if capacities differ.
+func (s *Set) Or(o *Set) {
+	s.check(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// AndNot sets s = s \ o. Panics if capacities differ.
+func (s *Set) AndNot(o *Set) {
+	s.check(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// AndCount returns |s ∩ o| without allocating. Panics if capacities differ.
+func (s *Set) AndCount(o *Set) int {
+	s.check(o)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s ∩ o is non-empty. Panics if capacities differ.
+func (s *Set) Intersects(o *Set) bool {
+	s.check(o)
+	for i := range s.words {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns a new set s ∩ o. Panics if capacities differ.
+func Intersect(a, b *Set) *Set {
+	a.check(b)
+	c := a.Clone()
+	c.And(b)
+	return c
+}
+
+// Union returns a new set a ∪ b. Panics if capacities differ.
+func Union(a, b *Set) *Set {
+	a.check(b)
+	c := a.Clone()
+	c.Or(b)
+	return c
+}
+
+// Equal reports whether the two sets have identical capacity and contents.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each set bit in increasing order; returning false stops
+// the iteration early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as a sorted index list, e.g. "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) check(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, o.n))
+	}
+}

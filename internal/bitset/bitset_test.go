@@ -1,0 +1,324 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+}
+
+func TestNewNegativeCapacity(t *testing.T) {
+	s := New(-5)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) = true after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(100)
+	if !s.Empty() {
+		t.Fatal("out-of-range Add should be ignored")
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+	s.Remove(-1) // must not panic
+	s.Remove(99)
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(10, []int{1, 3, 3, 5, 11, -2})
+	want := []int{1, 3, 5}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Count after Fill = %d", n, s.Count())
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set should be empty after Clear")
+	}
+	if s.Len() != 70 {
+		t.Fatal("Clear must preserve capacity")
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := FromIndices(130, []int{1, 2, 3, 64, 65, 129})
+	b := FromIndices(130, []int{2, 3, 4, 65, 128})
+
+	and := a.Clone()
+	and.And(b)
+	if got, want := and.String(), "{2, 3, 65}"; got != want {
+		t.Fatalf("And = %s, want %s", got, want)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 8 {
+		t.Fatalf("Or count = %d, want 8", or.Count())
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got, want := diff.String(), "{1, 64, 129}"; got != want {
+		t.Fatalf("AndNot = %s, want %s", got, want)
+	}
+}
+
+func TestAndCountIntersects(t *testing.T) {
+	a := FromIndices(200, []int{0, 50, 100, 150, 199})
+	b := FromIndices(200, []int{50, 150, 180})
+	if got := a.AndCount(b); got != 2 {
+		t.Fatalf("AndCount = %d, want 2", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	c := FromIndices(200, []int{1, 2, 3})
+	if a.Intersects(c) {
+		t.Fatal("Intersects = true, want false")
+	}
+}
+
+func TestIntersectUnionFunctions(t *testing.T) {
+	a := FromIndices(64, []int{1, 2, 3})
+	b := FromIndices(64, []int{3, 4})
+	i := Intersect(a, b)
+	u := Union(a, b)
+	if i.Count() != 1 || !i.Contains(3) {
+		t.Fatalf("Intersect = %s", i)
+	}
+	if u.Count() != 4 {
+		t.Fatalf("Union = %s", u)
+	}
+	// Inputs untouched.
+	if a.Count() != 3 || b.Count() != 2 {
+		t.Fatal("Intersect/Union must not mutate inputs")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	a := New(10)
+	b := New(11)
+	a.And(b)
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(100, []int{5, 10})
+	b := FromIndices(100, []int{5, 10})
+	c := FromIndices(100, []int{5, 11})
+	d := FromIndices(101, []int{5, 10})
+	if !a.Equal(b) {
+		t.Fatal("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a should not equal c")
+	}
+	if a.Equal(d) {
+		t.Fatal("different capacities are never equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(64, []int{1})
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("mutating clone must not affect original")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(100, []int{10, 20, 30, 40})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 10 || seen[1] != 20 {
+		t.Fatalf("ForEach early stop saw %v", seen)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromIndices(200, []int{3, 64, 130})
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130}, {131, -1}, {-5, 3}, {500, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestStringEmpty(t *testing.T) {
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+// Property: Count equals length of Indices, and Indices are sorted members.
+func TestPropCountMatchesIndices(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New(1 << 16)
+		for _, r := range raw {
+			s.Add(int(r))
+		}
+		idx := s.Indices()
+		if len(idx) != s.Count() {
+			return false
+		}
+		for i, v := range idx {
+			if !s.Contains(v) {
+				return false
+			}
+			if i > 0 && idx[i-1] >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish law |A∪B| = |A| + |B| - |A∩B|.
+func TestPropInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return Union(a, b).Count() == a.Count()+b.Count()-a.AndCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AndNot(b) then Or(b∩a) restores a∩-part consistency: (a\b)∪(a∩b) = a.
+func TestPropSplitRecombine(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		diff := a.Clone()
+		diff.AndNot(b)
+		inter := Intersect(a, b)
+		return Union(diff, inter).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	s := New(n)
+	ref := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(i)
+			ref[i] = true
+		case 1:
+			s.Remove(i)
+			delete(ref, i)
+		case 2:
+			if s.Contains(i) != ref[i] {
+				t.Fatalf("op %d: Contains(%d) mismatch", op, i)
+			}
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("final Count = %d, want %d", s.Count(), len(ref))
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x := New(1 << 20)
+	y := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 1<<20; i += 7 {
+		y.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRepresentativesDispersedBasics(t *testing.T) {
+	pts, _ := blobs(30, 3, 3, 21)
+	res := KMeans(pts, 3, Options{Seed: 21})
+	reps := res.RepresentativesDispersed(pts, 5)
+	if len(reps) != 3 {
+		t.Fatalf("reps = %v", reps)
+	}
+	seen := map[int]bool{}
+	clusters := map[int]bool{}
+	for _, r := range reps {
+		if r < 0 || r >= len(pts) || seen[r] {
+			t.Fatalf("bad reps %v", reps)
+		}
+		seen[r] = true
+		clusters[res.Assign[r]] = true
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("reps must come from distinct clusters: %v", reps)
+	}
+}
+
+func TestRepresentativesDispersedQOne(t *testing.T) {
+	pts, _ := blobs(20, 2, 2, 22)
+	res := KMeans(pts, 2, Options{Seed: 22})
+	a := res.RepresentativesDispersed(pts, 1)
+	b := res.Representatives(pts)
+	if len(a) != len(b) {
+		t.Fatalf("q=1 should match Representatives: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("q=1 should match Representatives: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRepresentativesDispersedEmpty(t *testing.T) {
+	res := KMeans(nil, 2, Options{Seed: 1})
+	if got := res.RepresentativesDispersed(nil, 4); got != nil {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+// Dispersion should never pick a rep far outside the central candidates:
+// every rep is among its cluster's q nearest-to-centroid members.
+func TestRepresentativesDispersedCentrality(t *testing.T) {
+	pts, _ := blobs(40, 2, 3, 23)
+	res := KMeans(pts, 2, Options{Seed: 23})
+	const q = 5
+	reps := res.RepresentativesDispersed(pts, q)
+	for _, rep := range reps {
+		c := res.Assign[rep]
+		d := sqDist(pts[rep], res.Centers[c])
+		closer := 0
+		for i, p := range pts {
+			if res.Assign[i] == c && sqDist(p, res.Centers[c]) < d {
+				closer++
+			}
+		}
+		if closer >= q {
+			t.Fatalf("rep %d is not among its cluster's %d most central members", rep, q)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package cluster implements k-means clustering (k-means++ seeding, Lloyd
+// iterations, empty-cluster repair) and centroid-representative selection.
+// It is the selection engine of Algorithm 2: row vectors and column vectors
+// are clustered and the points nearest each centroid become the sub-table's
+// rows and columns (the paper uses sklearn's KMeans for this).
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures k-means.
+type Options struct {
+	// MaxIter bounds Lloyd iterations (default 50).
+	MaxIter int
+	// Seed drives k-means++ initialization.
+	Seed int64
+	// Tolerance stops early when centroids move less than this (default 1e-4).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	return o
+}
+
+// Result holds a clustering.
+type Result struct {
+	K          int
+	Assign     []int       // point index -> cluster
+	Centers    [][]float32 // k centroids
+	Sizes      []int       // points per cluster
+	Iterations int
+}
+
+// KMeans clusters points into k clusters. Points must share one dimension.
+// When k >= len(points) every point becomes its own cluster.
+func KMeans(points [][]float32, k int, opt Options) *Result {
+	opt = opt.withDefaults()
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return &Result{K: 0}
+	}
+	if k >= n {
+		res := &Result{K: n, Assign: make([]int, n), Centers: make([][]float32, n), Sizes: make([]int, n)}
+		for i, p := range points {
+			res.Assign[i] = i
+			res.Centers[i] = append([]float32(nil), p...)
+			res.Sizes[i] = 1
+		}
+		return res
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	centers := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		// Assignment step.
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				d := sqDist(p, ctr)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			sizes[best]++
+		}
+		// Empty-cluster repair: seize the point farthest from its center.
+		for c := 0; c < k; c++ {
+			if sizes[c] > 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i, p := range points {
+				if sizes[assign[i]] <= 1 {
+					continue
+				}
+				d := sqDist(p, centers[assign[i]])
+				if d > farD {
+					far, farD = i, d
+				}
+			}
+			if far >= 0 {
+				sizes[assign[far]]--
+				assign[far] = c
+				sizes[c] = 1
+			}
+		}
+		// Update step.
+		next := make([][]float32, k)
+		for c := range next {
+			next[c] = make([]float32, dim)
+		}
+		counts := make([]int, k)
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				next[c][d] += p[d]
+			}
+		}
+		moved := 0.0
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			inv := 1 / float32(counts[c])
+			for d := 0; d < dim; d++ {
+				next[c][d] *= inv
+			}
+			moved += math.Sqrt(sqDist(next[c], centers[c]))
+			centers[c] = next[c]
+		}
+		if moved < opt.Tolerance {
+			iter++
+			break
+		}
+	}
+	copy(sizes, make([]int, k))
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for _, c := range assign {
+		sizes[c]++
+	}
+	return &Result{K: k, Assign: assign, Centers: centers, Sizes: sizes, Iterations: iter}
+}
+
+// Representatives returns, for each cluster, the index of the point nearest
+// its centroid — the "centroid selection" of Algorithm 2. Clusters are
+// ordered by descending size so that callers taking a prefix favour the
+// dominant patterns; empty clusters are skipped.
+func (r *Result) Representatives(points [][]float32) []int {
+	if r.K == 0 {
+		return nil
+	}
+	best := make([]int, r.K)
+	bestD := make([]float64, r.K)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, p := range points {
+		c := r.Assign[i]
+		d := sqDist(p, r.Centers[c])
+		if d < bestD[c] {
+			best[c], bestD[c] = i, d
+		}
+	}
+	// Order clusters by size (desc), stable by cluster id.
+	order := make([]int, r.K)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort; k is small
+		for j := i; j > 0 && r.Sizes[order[j]] > r.Sizes[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]int, 0, r.K)
+	for _, c := range order {
+		if best[c] >= 0 {
+			out = append(out, best[c])
+		}
+	}
+	return out
+}
+
+// RepresentativesDispersed selects one representative per cluster like
+// Representatives, but among each cluster's q most-central members it picks
+// the one farthest from the representatives already chosen (greedy max-min
+// dispersion). Centrality keeps representatives typical of their pattern;
+// the dispersion tie-break keeps the selected set visibly diverse — the two
+// goals of the paper's centroid-based selection.
+func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
+	if r.K == 0 {
+		return nil
+	}
+	if q <= 1 {
+		return r.Representatives(points)
+	}
+	// Per cluster: the q members nearest the centroid.
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([][]cand, r.K)
+	for i, p := range points {
+		c := r.Assign[i]
+		cands[c] = append(cands[c], cand{i, sqDist(p, r.Centers[c])})
+	}
+	for c := range cands {
+		sort.Slice(cands[c], func(x, y int) bool { return cands[c][x].d < cands[c][y].d })
+		if len(cands[c]) > q {
+			cands[c] = cands[c][:q]
+		}
+	}
+	order := make([]int, r.K)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if r.Sizes[order[x]] != r.Sizes[order[y]] {
+			return r.Sizes[order[x]] > r.Sizes[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	var out []int
+	for _, c := range order {
+		if len(cands[c]) == 0 {
+			continue
+		}
+		best, bestScore := -1, -1.0
+		for _, cd := range cands[c] {
+			minD := math.Inf(1)
+			for _, sel := range out {
+				if d := sqDist(points[cd.idx], points[sel]); d < minD {
+					minD = d
+				}
+			}
+			if len(out) == 0 {
+				minD = 0
+			}
+			// Prefer far-from-selected; break ties toward centrality.
+			score := minD - 1e-9*cd.d
+			if best < 0 || score > bestScore {
+				best, bestScore = cd.idx, score
+			}
+		}
+		if len(out) == 0 {
+			best = cands[c][0].idx // first cluster: the most central member
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
+	n := len(points)
+	centers := make([][]float32, 0, k)
+	first := points[rng.Intn(n)]
+	centers = append(centers, append([]float32(nil), first...))
+	dists := make([]float64, n)
+	for i, p := range points {
+		dists[i] = sqDist(p, centers[0])
+	}
+	for len(centers) < k {
+		total := 0.0
+		for _, d := range dists {
+			total += d
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n) // all points identical to a center
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i, d := range dists {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float32(nil), points[idx]...)
+		centers = append(centers, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < dists[i] {
+				dists[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Inertia returns the total within-cluster squared distance — the k-means
+// objective, useful for tests and ablations.
+func (r *Result) Inertia(points [][]float32) float64 {
+	if r.K == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range points {
+		s += sqDist(p, r.Centers[r.Assign[i]])
+	}
+	return s
+}

@@ -1,0 +1,695 @@
+// Package core implements SubTab, the paper's practical sub-table selection
+// algorithm (Algorithm 2). It has the two phases of Figure 1:
+//
+//   - Preprocess: normalize and bin the table, build the tabular-sentence
+//     corpus, and train a Word2Vec model over the binned cell items. Executed
+//     once, when the table is loaded.
+//   - Select: derive a vector per row (the average of its cell vectors) and
+//     per column (the average of its cell vectors), k-means each, and take
+//     the points nearest the centroids as the sub-table's rows and columns.
+//     Executed per display — on the full table or on any query result, reusing
+//     the pre-computed cell vectors, which is what makes query-time selection
+//     interactive.
+//
+// Target columns (U*) are forced into the output and excluded from the
+// column clustering, exactly as in Algorithm 2 lines 13-17.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"subtab/internal/binning"
+	"subtab/internal/cluster"
+	"subtab/internal/corpus"
+	"subtab/internal/metrics"
+	"subtab/internal/query"
+	"subtab/internal/rules"
+	"subtab/internal/table"
+	"subtab/internal/word2vec"
+)
+
+// ColumnStrategy selects how the sub-table's columns are chosen.
+type ColumnStrategy int
+
+const (
+	// PatternGroups (default) groups columns by their embedding-derived
+	// association affinity — skip-gram input·output products approximate
+	// PMI, so bins that co-occur score high — and spends the column budget
+	// on whole groups, largest first. Rules span *associated* columns, so
+	// co-selecting an associated group is what makes multi-column rules
+	// coverable. This is an implementation refinement over Algorithm 2's
+	// centroid step, which is under-determined on wide tables (column-mean
+	// vectors wash out bin-level structure); see DESIGN.md.
+	PatternGroups ColumnStrategy = iota
+	// Centroids is the literal Algorithm 2 column step: k-means the
+	// column-mean vectors into l−|U*| clusters and take the centroids.
+	Centroids
+)
+
+// Options configures the SubTab pipeline.
+type Options struct {
+	// Bins configures binning (paper default: 5 bins, KDE valleys).
+	Bins binning.Options
+	// Corpus configures sentence construction (paper: 100K-sentence cap).
+	Corpus corpus.Options
+	// Embedding configures Word2Vec training.
+	Embedding word2vec.Options
+	// Columns selects the column-selection strategy.
+	Columns ColumnStrategy
+	// ClusterSeed drives the k-means initializations during selection.
+	ClusterSeed int64
+}
+
+// Default returns the default settings: the paper's binning and corpus cap,
+// tuple-sentences only (see DESIGN.md — column-sentences dilute the
+// cross-column association signal), and pattern-group column selection.
+func Default() Options {
+	return Options{
+		Bins:   binning.Options{MaxBins: 5, Strategy: binning.KDEValleys},
+		Corpus: corpus.Options{MaxSentences: 100_000, TupleSentences: true},
+	}
+}
+
+// Model is the output of pre-processing: the binned table plus one embedding
+// vector per distinct (column, bin) item.
+type Model struct {
+	T   *table.Table
+	B   *binning.Binned
+	Emb *word2vec.Model
+	Opt Options
+
+	// itemVecs[item] is the embedding of the item, or nil when the item never
+	// appeared in the training corpus.
+	itemVecs [][]float32
+
+	// colAffinity[u][w] is the global association affinity between columns,
+	// computed once at pre-processing time from the embedding (symmetrized,
+	// frequency-weighted best bin match) and reused by every selection.
+	colAffinity [][]float64
+}
+
+// Preprocess runs the pre-processing phase of Algorithm 2 on table t.
+func Preprocess(t *table.Table, opt Options) (*Model, error) {
+	b, err := binning.Bin(t, opt.Bins)
+	if err != nil {
+		return nil, fmt.Errorf("core: binning: %w", err)
+	}
+	sents := corpus.Build(b, opt.Corpus)
+	emb := word2vec.Train(sents, opt.Embedding)
+	m := &Model{T: t, B: b, Emb: emb, Opt: opt}
+	m.itemVecs = make([][]float32, b.NumItems())
+	for item := 0; item < b.NumItems(); item++ {
+		m.itemVecs[item] = emb.Vector(int32(item))
+	}
+	m.computeColumnAffinities()
+	return m, nil
+}
+
+// computeColumnAffinities fills the global pairwise column-affinity matrix.
+func (m *Model) computeColumnAffinities() {
+	mc := m.T.NumCols()
+	allRows := make([]int, m.T.NumRows())
+	for i := range allRows {
+		allRows[i] = i
+	}
+	freqs := make([][]float64, mc)
+	for c := 0; c < mc; c++ {
+		freqs[c] = m.binFrequencies(c, allRows)
+	}
+	m.colAffinity = make([][]float64, mc)
+	for i := range m.colAffinity {
+		m.colAffinity[i] = make([]float64, mc)
+	}
+	for i := 0; i < mc; i++ {
+		for j := i + 1; j < mc; j++ {
+			a := (m.directedAffinity(i, j, freqs[i]) + m.directedAffinity(j, i, freqs[j])) / 2
+			m.colAffinity[i][j], m.colAffinity[j][i] = a, a
+		}
+	}
+}
+
+// ColumnAffinity returns the global association affinity of two columns.
+func (m *Model) ColumnAffinity(u, w int) float64 {
+	if u == w {
+		return 0
+	}
+	return m.colAffinity[u][w]
+}
+
+// ItemVector returns the embedding of a global item id (nil when unseen).
+func (m *Model) ItemVector(item int32) []float32 {
+	if item < 0 || int(item) >= len(m.itemVecs) {
+		return nil
+	}
+	return m.itemVecs[item]
+}
+
+// RowVector computes the tuple-vector of source row r over the given column
+// indices: the component-wise average of its cell vectors (Alg. 2 line 9).
+func (m *Model) RowVector(r int, cols []int) []float32 {
+	v := make([]float32, m.Emb.Dim())
+	n := 0
+	for _, c := range cols {
+		cv := m.ItemVector(m.B.Item(c, r))
+		if cv == nil {
+			continue
+		}
+		for d := range v {
+			v[d] += cv[d]
+		}
+		n++
+	}
+	if n > 0 {
+		inv := 1 / float32(n)
+		for d := range v {
+			v[d] *= inv
+		}
+	}
+	return v
+}
+
+// ColVector computes the column-vector of column c over the given source
+// rows: the average of its cell vectors (Alg. 2 line 14).
+func (m *Model) ColVector(c int, rows []int) []float32 {
+	v := make([]float32, m.Emb.Dim())
+	n := 0
+	for _, r := range rows {
+		cv := m.ItemVector(m.B.Item(c, r))
+		if cv == nil {
+			continue
+		}
+		for d := range v {
+			v[d] += cv[d]
+		}
+		n++
+	}
+	if n > 0 {
+		inv := 1 / float32(n)
+		for d := range v {
+			v[d] *= inv
+		}
+	}
+	return v
+}
+
+// SubTable is a selected k×l sub-table.
+type SubTable struct {
+	// SourceRows are the selected rows as indices into the original table.
+	SourceRows []int
+	// Cols are the selected column names, in original table order.
+	Cols []string
+	// ColIdx are the selected columns as indices into the original table.
+	ColIdx []int
+	// View is the rendered k×l table.
+	View *table.Table
+}
+
+// AsMetricSubTable adapts the selection for the metrics package.
+func (s *SubTable) AsMetricSubTable() metrics.SubTable {
+	return metrics.SubTable{Rows: s.SourceRows, Cols: s.ColIdx}
+}
+
+// Select runs the selection phase on the whole table (Q = NULL in Alg. 2).
+func (m *Model) Select(k, l int, targets []string) (*SubTable, error) {
+	rows := make([]int, m.T.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, m.T.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return m.selectFrom(rows, cols, k, l, targets)
+}
+
+// SelectQuery runs the selection phase on the result of q. Selection and
+// projection reuse the pre-computed cell vectors; for group-by queries, each
+// result row is represented by its group's first source row (aggregate cells
+// do not exist in T and therefore have no embedding).
+func (m *Model) SelectQuery(q *query.Query, k, l int, targets []string) (*SubTable, error) {
+	if q == nil {
+		return m.Select(k, l, targets)
+	}
+	res, srcRows, err := q.Apply(m.T)
+	if err != nil {
+		return nil, fmt.Errorf("core: applying query: %w", err)
+	}
+	// Working columns: the result's columns that exist in T (aggregate
+	// columns do not; they are excluded from embedding-based selection).
+	var cols []int
+	for _, name := range res.ColumnNames() {
+		if ci := m.T.ColumnIndex(name); ci >= 0 {
+			cols = append(cols, ci)
+		}
+	}
+	if len(cols) == 0 {
+		// Pure aggregate result: fall back to all original columns.
+		cols = make([]int, m.T.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	return m.selectFrom(srcRows, cols, k, l, targets)
+}
+
+// selectFrom clusters the candidate rows and columns and picks centroids.
+func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTable, error) {
+	if k <= 0 || l <= 0 {
+		return nil, fmt.Errorf("core: sub-table dimensions must be positive, got %dx%d", k, l)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no rows to select from")
+	}
+	targetIdx := make(map[int]bool, len(targets))
+	for _, name := range targets {
+		ci := m.T.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("core: unknown target column %q", name)
+		}
+		targetIdx[ci] = true
+	}
+	if len(targetIdx) > l {
+		return nil, fmt.Errorf("core: %d target columns exceed l=%d", len(targetIdx), l)
+	}
+
+	// Row selection (Alg. 2 lines 8-12): cluster the tuple-vectors, then
+	// pick one representative per cluster. Among each cluster's most-central
+	// members we take the row least similar (binned Jaccard, the measure of
+	// Def. 3.7) to the rows already chosen: centrality keeps representatives
+	// typical of their pattern, the Jaccard tie-break keeps the displayed
+	// set diverse.
+	rowVecs := make([][]float32, len(rows))
+	for i, r := range rows {
+		rowVecs[i] = m.RowVector(r, cols)
+	}
+	rowRes := cluster.KMeans(rowVecs, k, cluster.Options{Seed: m.Opt.ClusterSeed})
+	repIdx := m.diverseRepresentatives(rowRes, rowVecs, rows, cols, 16)
+	selRows := make([]int, 0, len(repIdx))
+	for _, i := range repIdx {
+		selRows = append(selRows, rows[i])
+	}
+
+	// Column selection: targets are forced; the rest of the budget is spent
+	// by the configured strategy.
+	var candCols []int
+	for _, c := range cols {
+		if !targetIdx[c] {
+			candCols = append(candCols, c)
+		}
+	}
+	need := l - len(targetIdx)
+	selColSet := make(map[int]bool, l)
+	for c := range targetIdx {
+		selColSet[c] = true
+	}
+	if need > 0 && len(candCols) > 0 {
+		var picked []int
+		if m.Opt.Columns == Centroids {
+			picked = m.centroidColumns(candCols, rows, need)
+		} else {
+			picked = m.patternGroupColumns(candCols, rows, need)
+		}
+		for _, c := range picked {
+			selColSet[c] = true
+		}
+	}
+
+	// Assemble the view with columns in original order.
+	st := &SubTable{SourceRows: selRows}
+	for c := 0; c < m.T.NumCols(); c++ {
+		if selColSet[c] {
+			st.ColIdx = append(st.ColIdx, c)
+			st.Cols = append(st.Cols, m.T.ColumnAt(c).Name)
+		}
+	}
+	view, err := m.T.SubTableView(selRows, st.Cols)
+	if err != nil {
+		return nil, err
+	}
+	st.View = view
+	return st, nil
+}
+
+// diverseRepresentatives picks one row per cluster: among the q members
+// nearest each cluster's centroid, the one with the lowest average binned
+// Jaccard similarity to the rows already picked. Clusters are visited in
+// descending size order; the first (dominant) cluster contributes its most
+// central member.
+func (m *Model) diverseRepresentatives(res *cluster.Result, vecs [][]float32, rows, cols []int, q int) []int {
+	if res.K == 0 {
+		return nil
+	}
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([][]cand, res.K)
+	for i, v := range vecs {
+		c := res.Assign[i]
+		cands[c] = append(cands[c], cand{i, sqDist32(v, res.Centers[c])})
+	}
+	for c := range cands {
+		sort.Slice(cands[c], func(x, y int) bool { return cands[c][x].d < cands[c][y].d })
+		if len(cands[c]) > q {
+			cands[c] = cands[c][:q]
+		}
+	}
+	order := make([]int, res.K)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if res.Sizes[order[x]] != res.Sizes[order[y]] {
+			return res.Sizes[order[x]] > res.Sizes[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	jaccard := func(r1, r2 int) float64 {
+		if len(cols) == 0 {
+			return 0
+		}
+		same := 0
+		for _, c := range cols {
+			if m.B.Codes[c][r1] == m.B.Codes[c][r2] {
+				same++
+			}
+		}
+		return float64(same) / float64(len(cols))
+	}
+	var out []int
+	for _, c := range order {
+		if len(cands[c]) == 0 {
+			continue
+		}
+		if len(out) == 0 {
+			out = append(out, cands[c][0].idx)
+			continue
+		}
+		best, bestSim := -1, math.Inf(1)
+		for _, cd := range cands[c] {
+			sim := 0.0
+			for _, sel := range out {
+				sim += jaccard(rows[cd.idx], rows[sel])
+			}
+			sim /= float64(len(out))
+			if sim < bestSim {
+				best, bestSim = cd.idx, sim
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func sqDist32(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// centroidColumns is the literal Algorithm 2 column step: k-means over the
+// column-mean vectors, one representative per cluster.
+func (m *Model) centroidColumns(candCols, rows []int, need int) []int {
+	colVecs := make([][]float32, len(candCols))
+	for i, c := range candCols {
+		colVecs[i] = m.ColVector(c, rows)
+	}
+	colRes := cluster.KMeans(colVecs, need, cluster.Options{Seed: m.Opt.ClusterSeed + 1})
+	out := make([]int, 0, need)
+	for _, i := range colRes.Representatives(colVecs) {
+		out = append(out, candCols[i])
+	}
+	return out
+}
+
+// patternGroupColumns groups candidate columns by pairwise association
+// affinity (precomputed globally at pre-processing time) and spends the
+// budget on whole groups (largest mass first), padding any remaining budget
+// with the columns of highest salience.
+func (m *Model) patternGroupColumns(candCols, rows []int, need int) []int {
+	mcols := len(candCols)
+	if need >= mcols {
+		return append([]int(nil), candCols...)
+	}
+
+	// Pairwise affinities from the precomputed global matrix.
+	aff := make([][]float64, mcols)
+	for i := range aff {
+		aff[i] = make([]float64, mcols)
+	}
+	var vals []float64
+	for i := 0; i < mcols; i++ {
+		for j := i + 1; j < mcols; j++ {
+			a := m.ColumnAffinity(candCols[i], candCols[j])
+			aff[i][j], aff[j][i] = a, a
+			vals = append(vals, a)
+		}
+	}
+	if len(vals) == 0 {
+		return candCols[:need]
+	}
+	mean, std := meanStd(vals)
+	threshold := mean + 0.75*std
+
+	// Union-find over strong edges.
+	parent := make([]int, mcols)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < mcols; i++ {
+		for j := i + 1; j < mcols; j++ {
+			if aff[i][j] >= threshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range parent {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	// Salience of a column: its strongest affinity to any other column.
+	salience := make([]float64, mcols)
+	for i := 0; i < mcols; i++ {
+		best := math.Inf(-1)
+		for j := 0; j < mcols; j++ {
+			if j != i && aff[i][j] > best {
+				best = aff[i][j]
+			}
+		}
+		salience[i] = best
+	}
+	type group struct {
+		members []int
+		mass    float64
+	}
+	var ranked []group
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue // singletons join the salience pool
+		}
+		mass := 0.0
+		for _, i := range g {
+			for _, j := range g {
+				if i < j {
+					mass += aff[i][j] - mean // positive part above background
+				}
+			}
+		}
+		// Order members as a greedy affinity core — start from the group's
+		// strongest pair, then repeatedly append the member with the highest
+		// total affinity to the members already kept — so that truncation
+		// preserves tightly associated column sets (the rule-bearing cores)
+		// rather than weakly connected hubs.
+		ranked = append(ranked, group{members: greedyCore(aff, g), mass: mass})
+	}
+	sort.Slice(ranked, func(x, y int) bool {
+		if len(ranked[x].members) != len(ranked[y].members) {
+			return len(ranked[x].members) > len(ranked[y].members)
+		}
+		return ranked[x].mass > ranked[y].mass
+	})
+
+	picked := make([]int, 0, need)
+	taken := make([]bool, mcols)
+	for _, g := range ranked {
+		for _, i := range g.members {
+			if len(picked) >= need {
+				break
+			}
+			picked = append(picked, candCols[i])
+			taken[i] = true
+		}
+	}
+	// Pad with the most salient leftover columns.
+	if len(picked) < need {
+		rest := make([]int, 0, mcols)
+		for i := 0; i < mcols; i++ {
+			if !taken[i] {
+				rest = append(rest, i)
+			}
+		}
+		sort.Slice(rest, func(x, y int) bool { return salience[rest[x]] > salience[rest[y]] })
+		for _, i := range rest {
+			if len(picked) >= need {
+				break
+			}
+			picked = append(picked, candCols[i])
+		}
+	}
+	return picked
+}
+
+// binFrequencies returns the relative frequency of each bin of column c
+// over the given rows.
+func (m *Model) binFrequencies(c int, rows []int) []float64 {
+	f := make([]float64, m.B.Cols[c].NumBins())
+	for _, r := range rows {
+		f[m.B.Codes[c][r]]++
+	}
+	inv := 1 / float64(max(1, len(rows)))
+	for i := range f {
+		f[i] *= inv
+	}
+	return f
+}
+
+// directedAffinity measures how strongly column u's bins associate with
+// column w: the frequency-weighted mean, over u's bins, of the best
+// association with any of w's bins.
+func (m *Model) directedAffinity(u, w int, uFreq []float64) float64 {
+	b := m.B
+	s, tot := 0.0, 0.0
+	for bi, f := range uFreq {
+		if f == 0 {
+			continue
+		}
+		best := math.Inf(-1)
+		for bj := 0; bj < b.Cols[w].NumBins(); bj++ {
+			if a := m.Emb.Association(b.ItemOf(u, bi), b.ItemOf(w, bj)); a > best {
+				best = a
+			}
+		}
+		if math.IsInf(best, -1) {
+			continue
+		}
+		s += f * best
+		tot += f
+	}
+	if tot == 0 {
+		return 0
+	}
+	return s / tot
+}
+
+// greedyCore orders a group's members by greedy max-affinity growth: the
+// strongest pair first, then whichever member is most affine to the kept
+// set.
+func greedyCore(aff [][]float64, group []int) []int {
+	if len(group) <= 2 {
+		return group
+	}
+	bi, bj, best := group[0], group[1], math.Inf(-1)
+	for x := 0; x < len(group); x++ {
+		for y := x + 1; y < len(group); y++ {
+			if a := aff[group[x]][group[y]]; a > best {
+				bi, bj, best = group[x], group[y], a
+			}
+		}
+	}
+	kept := []int{bi, bj}
+	inKept := map[int]bool{bi: true, bj: true}
+	for len(kept) < len(group) {
+		bestM, bestA := -1, math.Inf(-1)
+		for _, m := range group {
+			if inKept[m] {
+				continue
+			}
+			a := 0.0
+			for _, kmem := range kept {
+				a += aff[m][kmem]
+			}
+			if a > bestA {
+				bestM, bestA = m, a
+			}
+		}
+		kept = append(kept, bestM)
+		inKept[bestM] = true
+	}
+	return kept
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return m, math.Sqrt(v / float64(len(xs)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Highlight computes, for each sub-table row, one covered association rule
+// to highlight (at most one per row, as in the paper's Figure 1 UI) and
+// returns a cell predicate for table.Render plus the chosen rule index per
+// row (-1 when none).
+func Highlight(b *binning.Binned, rs []rules.Rule, st *SubTable) (func(r, ci int) bool, []int) {
+	colPos := make(map[int]int, len(st.ColIdx)) // table col -> view col
+	colSet := make(map[int]bool, len(st.ColIdx))
+	for vi, c := range st.ColIdx {
+		colPos[c] = vi
+		colSet[c] = true
+	}
+	perRow := make([]int, len(st.SourceRows))
+	mark := make(map[[2]int]bool)
+	for vi, srcRow := range st.SourceRows {
+		perRow[vi] = -1
+		best, bestSize := -1, 0
+		for ri := range rs {
+			r := &rs[ri]
+			if !r.Tuples.Contains(srcRow) {
+				continue
+			}
+			ok := true
+			for _, c := range r.Cols {
+				if !colSet[c] {
+					ok = false
+					break
+				}
+			}
+			if ok && len(r.Cols) > bestSize {
+				best, bestSize = ri, len(r.Cols)
+			}
+		}
+		perRow[vi] = best
+		if best >= 0 {
+			for _, c := range rs[best].Cols {
+				mark[[2]int{vi, colPos[c]}] = true
+			}
+		}
+	}
+	return func(r, ci int) bool { return mark[[2]int{r, ci}] }, perRow
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FairnessOptions constrains a selection so that the groups of a protected
+// column are all represented among the selected rows — the paper's §7
+// future-work direction of "sub-tables that meet certain fairness
+// requirements with respect to the data they represent".
+type FairnessOptions struct {
+	// GroupCol is the protected column; its bins define the groups.
+	GroupCol string
+	// MinPerGroup is the minimum number of selected rows per non-empty
+	// group (default 1). Groups with fewer matching rows than the minimum
+	// contribute all they have.
+	MinPerGroup int
+}
+
+// SelectFair runs the standard selection and then repairs group
+// under-representation: for every group of the protected column with fewer
+// than MinPerGroup selected rows, rows from over-represented groups are
+// swapped for the under-represented group's most pattern-typical rows (the
+// rows nearest their embedding cluster centroids).
+func (m *Model) SelectFair(k, l int, targets []string, fair FairnessOptions) (*SubTable, error) {
+	gi := m.T.ColumnIndex(fair.GroupCol)
+	if gi < 0 {
+		return nil, fmt.Errorf("core: unknown fairness column %q", fair.GroupCol)
+	}
+	if fair.MinPerGroup <= 0 {
+		fair.MinPerGroup = 1
+	}
+	st, err := m.Select(k, l, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group sizes in the full table and in the selection.
+	nBins := m.B.Cols[gi].NumBins()
+	full := make([]int, nBins)
+	for r := 0; r < m.T.NumRows(); r++ {
+		full[m.B.Codes[gi][r]]++
+	}
+	sel := make([]int, nBins)
+	for _, r := range st.SourceRows {
+		sel[m.B.Codes[gi][r]]++
+	}
+
+	// Deficits per group, bounded by group size.
+	type deficit struct{ bin, need int }
+	var deficits []deficit
+	for bin := 0; bin < nBins; bin++ {
+		if full[bin] == 0 {
+			continue
+		}
+		want := fair.MinPerGroup
+		if want > full[bin] {
+			want = full[bin]
+		}
+		if sel[bin] < want {
+			deficits = append(deficits, deficit{bin, want - sel[bin]})
+		}
+	}
+	if len(deficits) == 0 {
+		return st, nil
+	}
+
+	// Candidate replacements per group: rows of the group ordered by how
+	// typical they are (distance of their row vector to the selection's
+	// mean is a cheap typicality proxy; exact cluster distances would
+	// require re-clustering).
+	cols := st.ColIdx
+	inSel := make(map[int]bool, len(st.SourceRows))
+	for _, r := range st.SourceRows {
+		inSel[r] = true
+	}
+	pick := func(bin, need int) []int {
+		var cand []int
+		for r := 0; r < m.T.NumRows() && len(cand) < need*8; r++ {
+			if int(m.B.Codes[gi][r]) == bin && !inSel[r] {
+				cand = append(cand, r)
+			}
+		}
+		if len(cand) > need {
+			cand = cand[:need]
+		}
+		return cand
+	}
+
+	// Swap out rows from the most over-represented groups.
+	rows := append([]int(nil), st.SourceRows...)
+	for _, d := range deficits {
+		for _, newRow := range pick(d.bin, d.need) {
+			// Victim: a row from the group with the largest selected count
+			// above its own minimum.
+			victim := -1
+			victimCount := -1
+			for i, r := range rows {
+				b := int(m.B.Codes[gi][r])
+				if b == d.bin {
+					continue
+				}
+				if sel[b] > fair.MinPerGroup && sel[b] > victimCount {
+					victim = i
+					victimCount = sel[b]
+				}
+			}
+			if victim < 0 {
+				break // nothing to trade away
+			}
+			sel[int(m.B.Codes[gi][rows[victim]])]--
+			rows[victim] = newRow
+			sel[d.bin]++
+			inSel[newRow] = true
+		}
+	}
+	sort.Ints(rows)
+
+	view, err := m.T.SubTableView(rows, st.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := &SubTable{SourceRows: rows, Cols: st.Cols, ColIdx: cols, View: view}
+	return out, nil
+}
+
+// GroupCounts reports, for each bin label of the given column, how many of
+// the sub-table's rows fall in it — the fairness audit of a display.
+func (m *Model) GroupCounts(st *SubTable, groupCol string) (map[string]int, error) {
+	gi := m.T.ColumnIndex(groupCol)
+	if gi < 0 {
+		return nil, fmt.Errorf("core: unknown group column %q", groupCol)
+	}
+	out := make(map[string]int)
+	for _, r := range st.SourceRows {
+		out[m.B.Cols[gi].Labels[m.B.Codes[gi][r]]]++
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"subtab/internal/table"
+)
+
+// skewedTable has a protected column with a dominant group (90%) and two
+// small minorities (5% each), plus feature columns correlated with groups.
+func skewedTable(t *testing.T, n int, seed int64) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	group := make([]string, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := rng.Float64()
+		switch {
+		case p < 0.9:
+			group[i] = "majority"
+			x[i] = rng.Float64() * 10
+		case p < 0.95:
+			group[i] = "minorityA"
+			x[i] = 100 + rng.Float64()*10
+		default:
+			group[i] = "minorityB"
+			x[i] = 200 + rng.Float64()*10
+		}
+		y[i] = rng.Float64() * 5
+	}
+	tab := table.New("skewed")
+	if err := tab.AddColumn(table.NewCategorical("group", group)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn(table.NewNumeric("x", x)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn(table.NewNumeric("y", y)); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSelectFairCoversAllGroups(t *testing.T) {
+	tab := skewedTable(t, 600, 31)
+	m, err := Preprocess(tab, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.SelectFair(6, 3, nil, FairnessOptions{GroupCol: "group", MinPerGroup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := m.GroupCounts(st, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"majority", "minorityA", "minorityB"} {
+		if counts[g] < 1 {
+			t.Fatalf("group %q unrepresented: %v", g, counts)
+		}
+	}
+	if len(st.SourceRows) != 6 {
+		t.Fatalf("rows = %d, want 6 (fairness must not change k)", len(st.SourceRows))
+	}
+}
+
+func TestSelectFairMinPerGroup(t *testing.T) {
+	tab := skewedTable(t, 600, 32)
+	m, err := Preprocess(tab, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.SelectFair(9, 3, nil, FairnessOptions{GroupCol: "group", MinPerGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := m.GroupCounts(st, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"majority", "minorityA", "minorityB"} {
+		if counts[g] < 2 {
+			t.Fatalf("group %q has %d rows, want >= 2: %v", g, counts[g], counts)
+		}
+	}
+}
+
+func TestSelectFairUnknownColumn(t *testing.T) {
+	tab := skewedTable(t, 100, 33)
+	m, err := Preprocess(tab, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SelectFair(4, 2, nil, FairnessOptions{GroupCol: "nope"}); err == nil {
+		t.Fatal("unknown fairness column should error")
+	}
+}
+
+func TestSelectFairAlreadyFair(t *testing.T) {
+	// With a balanced group column, the plain selection is usually already
+	// fair; SelectFair must not degrade it.
+	rng := rand.New(rand.NewSource(34))
+	n := 300
+	group := make([]string, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		group[i] = []string{"a", "b"}[i%2]
+		x[i] = float64(i%2)*100 + rng.Float64()*10
+	}
+	tab := table.New("balanced")
+	if err := tab.AddColumn(table.NewCategorical("group", group)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn(table.NewNumeric("x", x)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Preprocess(tab, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.SelectFair(4, 2, nil, FairnessOptions{GroupCol: "group"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := m.GroupCounts(st, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] < 1 || counts["b"] < 1 {
+		t.Fatalf("balanced groups should both appear: %v", counts)
+	}
+}
+
+func TestGroupCountsErrors(t *testing.T) {
+	tab := skewedTable(t, 100, 35)
+	m, err := Preprocess(tab, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Select(3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GroupCounts(st, "nope"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}

@@ -1,0 +1,81 @@
+// Package corpus turns a binned table into the "tabular sentences" that
+// Algorithm 2's pre-processing feeds to Word2Vec: one tuple-sentence per row
+// (the row's items) and one column-sentence per column (the column's items
+// down all rows). As in the paper, the corpus is capped (default 100K
+// sentences) by uniform random sampling.
+package corpus
+
+import (
+	"math/rand"
+
+	"subtab/internal/binning"
+)
+
+// Options configures corpus construction.
+type Options struct {
+	// MaxSentences caps the corpus size (paper: 100K). 0 means the default.
+	MaxSentences int
+	// TupleSentences / ColumnSentences toggle the two sentence families
+	// (both true in the paper; the ablation benches flip them).
+	TupleSentences  bool
+	ColumnSentences bool
+	// Seed drives sampling when the corpus exceeds MaxSentences.
+	Seed int64
+}
+
+// Default returns the paper's corpus settings.
+func Default() Options {
+	return Options{MaxSentences: 100_000, TupleSentences: true, ColumnSentences: true}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSentences <= 0 {
+		o.MaxSentences = 100_000
+	}
+	if !o.TupleSentences && !o.ColumnSentences {
+		o.TupleSentences = true
+		o.ColumnSentences = true
+	}
+	return o
+}
+
+// Build constructs the sentence corpus from a binned table.
+//
+// Tuple-sentences dominate the corpus (one per row); the m column-sentences
+// are long (n tokens each) and are kept whole — Word2Vec's whole-sentence
+// window with per-center context sampling handles their length.
+func Build(b *binning.Binned, opt Options) [][]int32 {
+	opt = opt.withDefaults()
+	n, m := b.NumRows(), b.NumCols()
+	var sentences [][]int32
+
+	if opt.TupleSentences {
+		rowIdx := make([]int, n)
+		for i := range rowIdx {
+			rowIdx[i] = i
+		}
+		if n > opt.MaxSentences {
+			rng := rand.New(rand.NewSource(opt.Seed))
+			rng.Shuffle(n, func(i, j int) { rowIdx[i], rowIdx[j] = rowIdx[j], rowIdx[i] })
+			rowIdx = rowIdx[:opt.MaxSentences]
+		}
+		for _, r := range rowIdx {
+			sent := make([]int32, m)
+			for c := 0; c < m; c++ {
+				sent[c] = b.Item(c, r)
+			}
+			sentences = append(sentences, sent)
+		}
+	}
+
+	if opt.ColumnSentences {
+		for c := 0; c < m; c++ {
+			sent := make([]int32, n)
+			for r := 0; r < n; r++ {
+				sent[r] = b.Item(c, r)
+			}
+			sentences = append(sentences, sent)
+		}
+	}
+	return sentences
+}

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"testing"
+
+	"subtab/internal/binning"
+	"subtab/internal/table"
+)
+
+func binnedTable(t *testing.T, n int) *binning.Binned {
+	t.Helper()
+	tab := table.New("t")
+	a := make([]float64, n)
+	b := make([]string, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i % 10)
+		b[i] = []string{"x", "y", "z"}[i%3]
+	}
+	if err := tab.AddColumn(table.NewNumeric("a", a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn(table.NewCategorical("b", b)); err != nil {
+		t.Fatal(err)
+	}
+	bn, err := binning.Bin(tab, binning.Options{MaxBins: 3, Strategy: binning.Quantile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bn
+}
+
+func TestBuildBoth(t *testing.T) {
+	b := binnedTable(t, 50)
+	sents := Build(b, Default())
+	// 50 tuple sentences + 2 column sentences.
+	if len(sents) != 52 {
+		t.Fatalf("sentences = %d, want 52", len(sents))
+	}
+	// Tuple sentences have m tokens; column sentences have n tokens.
+	if len(sents[0]) != 2 {
+		t.Fatalf("tuple sentence len = %d", len(sents[0]))
+	}
+	if len(sents[51]) != 50 {
+		t.Fatalf("column sentence len = %d", len(sents[51]))
+	}
+}
+
+func TestBuildTupleOnly(t *testing.T) {
+	b := binnedTable(t, 20)
+	sents := Build(b, Options{TupleSentences: true, MaxSentences: 1000})
+	if len(sents) != 20 {
+		t.Fatalf("sentences = %d, want 20", len(sents))
+	}
+}
+
+func TestBuildColumnOnly(t *testing.T) {
+	b := binnedTable(t, 20)
+	sents := Build(b, Options{ColumnSentences: true, MaxSentences: 1000})
+	if len(sents) != 2 {
+		t.Fatalf("sentences = %d, want 2", len(sents))
+	}
+}
+
+func TestCapSampling(t *testing.T) {
+	b := binnedTable(t, 200)
+	sents := Build(b, Options{TupleSentences: true, ColumnSentences: true, MaxSentences: 50, Seed: 1})
+	// 50 sampled tuple sentences + 2 column sentences.
+	if len(sents) != 52 {
+		t.Fatalf("sentences = %d, want 52", len(sents))
+	}
+}
+
+func TestCapDeterministic(t *testing.T) {
+	b := binnedTable(t, 200)
+	s1 := Build(b, Options{TupleSentences: true, MaxSentences: 50, Seed: 9})
+	s2 := Build(b, Options{TupleSentences: true, MaxSentences: 50, Seed: 9})
+	if len(s1) != len(s2) {
+		t.Fatal("length mismatch")
+	}
+	for i := range s1 {
+		for j := range s1[i] {
+			if s1[i][j] != s2[i][j] {
+				t.Fatal("same seed must give same sample")
+			}
+		}
+	}
+}
+
+func TestTokensAreValidItems(t *testing.T) {
+	b := binnedTable(t, 30)
+	sents := Build(b, Default())
+	for _, s := range sents {
+		for _, tok := range s {
+			if tok < 0 || int(tok) >= b.NumItems() {
+				t.Fatalf("token %d out of item range [0,%d)", tok, b.NumItems())
+			}
+		}
+	}
+}
+
+func TestDefaultsWhenBothDisabled(t *testing.T) {
+	b := binnedTable(t, 10)
+	sents := Build(b, Options{MaxSentences: 100})
+	// Both families default on.
+	if len(sents) != 12 {
+		t.Fatalf("sentences = %d, want 12", len(sents))
+	}
+}

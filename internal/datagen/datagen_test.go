@@ -1,0 +1,238 @@
+package datagen
+
+import (
+	"testing"
+
+	"subtab/internal/binning"
+	"subtab/internal/rules"
+	"subtab/internal/table"
+)
+
+func TestByNameAll(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 500, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.T.NumRows() != 500 {
+			t.Fatalf("%s: rows = %d", name, ds.T.NumRows())
+		}
+		if len(ds.Planted) == 0 {
+			t.Fatalf("%s: no planted rules", name)
+		}
+		if len(ds.Targets) == 0 {
+			t.Fatalf("%s: no target columns", name)
+		}
+		for _, tc := range ds.Targets {
+			if ds.T.Column(tc) == nil {
+				t.Fatalf("%s: target %q missing", name, tc)
+			}
+		}
+		for _, pr := range ds.Planted {
+			for _, c := range pr.Cols {
+				if ds.T.Column(c) == nil {
+					t.Fatalf("%s: planted rule references missing column %q", name, c)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("XX", 10, 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestByNameDefaultRows(t *testing.T) {
+	ds, err := ByName("CY", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.T.NumRows() != DefaultRows("CY") {
+		t.Fatalf("rows = %d", ds.T.NumRows())
+	}
+}
+
+func TestColumnCountsMatchPaper(t *testing.T) {
+	cases := map[string]int{"FL": 31, "CY": 15, "SP": 15, "CC": 31, "USF": 298, "BL": 19}
+	for name, want := range cases {
+		ds, err := ByName(name, 100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ds.T.NumCols(); got != want {
+			t.Errorf("%s: %d columns, paper has %d", name, got, want)
+		}
+	}
+}
+
+func TestFlightsNaNStructure(t *testing.T) {
+	ds := Flights(3000, 2)
+	canc := ds.T.Column("CANCELLED")
+	dep := ds.T.Column("DEPARTURE_TIME")
+	air := ds.T.Column("AIR_TIME")
+	nCancelled := 0
+	for r := 0; r < ds.T.NumRows(); r++ {
+		if canc.Nums[r] == 1 {
+			nCancelled++
+			if !dep.Missing(r) || !air.Missing(r) {
+				t.Fatalf("row %d cancelled but has in-flight data", r)
+			}
+		} else if dep.Missing(r) {
+			t.Fatalf("row %d not cancelled but missing departure time", r)
+		}
+	}
+	if nCancelled < 50 {
+		t.Fatalf("too few cancellations: %d", nCancelled)
+	}
+}
+
+func TestFlightsPlantedRulesHold(t *testing.T) {
+	ds := Flights(5000, 3)
+	// Long flights almost never cancelled.
+	longTotal, longCancelled := 0, 0
+	shortAftTotal, shortAftCancelled := 0, 0
+	for r := 0; r < ds.T.NumRows(); r++ {
+		d := ds.T.Column("DISTANCE").Nums[r]
+		s := ds.T.Column("SCHEDULED_DEPARTURE").Nums[r]
+		c := ds.T.Column("CANCELLED").Nums[r]
+		if d >= 1600 {
+			longTotal++
+			if c == 1 {
+				longCancelled++
+			}
+		}
+		if d < 500 && s >= 1230 && s < 1630 {
+			shortAftTotal++
+			if c == 1 {
+				shortAftCancelled++
+			}
+		}
+	}
+	if longTotal == 0 || shortAftTotal == 0 {
+		t.Fatal("regimes not populated")
+	}
+	longRate := float64(longCancelled) / float64(longTotal)
+	shortRate := float64(shortAftCancelled) / float64(shortAftTotal)
+	if longRate > 0.05 {
+		t.Fatalf("long-flight cancellation rate = %v", longRate)
+	}
+	if shortRate < 0.4 {
+		t.Fatalf("short-afternoon cancellation rate = %v", shortRate)
+	}
+}
+
+func TestPlantedRulesPopulated(t *testing.T) {
+	// Every planted rule must hold for a meaningful share of rows.
+	for _, name := range Names() {
+		ds, err := ByName(name, 2000, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range ds.Planted {
+			count := 0
+			for r := 0; r < ds.T.NumRows(); r++ {
+				if pr.Holds(ds.T, r) {
+					count++
+				}
+			}
+			if count < 20 {
+				t.Errorf("%s: planted rule %q holds for only %d/%d rows", name, pr.Description, count, ds.T.NumRows())
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Cyber(200, 7)
+	b := Cyber(200, 7)
+	for c := 0; c < a.T.NumCols(); c++ {
+		for r := 0; r < 200; r++ {
+			va, vb := a.T.CellAt(r, c), b.T.CellAt(r, c)
+			if va.String() != vb.String() {
+				t.Fatalf("col %d row %d: %v != %v", c, r, va, vb)
+			}
+		}
+	}
+	c := Cyber(200, 8)
+	same := true
+	for r := 0; r < 200 && same; r++ {
+		if a.T.CellAt(r, 0).String() != c.T.CellAt(r, 0).String() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// The generators must produce tables whose planted patterns are minable as
+// association rules with the paper's default thresholds.
+func TestMinablePatterns(t *testing.T) {
+	for _, name := range []string{"FL", "CY", "SP", "BL"} {
+		ds, err := ByName(name, 3000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := binning.Bin(ds.T, binning.Options{MaxBins: 5, Strategy: binning.Quantile, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := rules.Mine(b, rules.Options{MinSupport: 0.1, MinConfidence: 0.6, MinRuleSize: 2, MaxItemsetSize: 3, MaxRules: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) == 0 {
+			t.Errorf("%s: no rules minable at paper thresholds", name)
+		}
+	}
+}
+
+func TestGeneric(t *testing.T) {
+	ds := Generic(500, 9, 4, 6)
+	if ds.T.NumRows() != 500 || ds.T.NumCols() != 9 {
+		t.Fatalf("dims = %dx%d", ds.T.NumRows(), ds.T.NumCols())
+	}
+	if len(ds.Planted) != 4 {
+		t.Fatalf("planted = %d", len(ds.Planted))
+	}
+	// Pattern rows hold their own rule and not others'.
+	for r := 0; r < 50; r++ {
+		holds := 0
+		for _, pr := range ds.Planted {
+			if pr.Holds(ds.T, r) {
+				holds++
+			}
+		}
+		if holds != 1 {
+			t.Fatalf("row %d holds %d patterns, want 1", r, holds)
+		}
+	}
+}
+
+func TestGenericDegenerateArgs(t *testing.T) {
+	ds := Generic(50, 1, 0, 1)
+	if ds.T.NumCols() < 3 {
+		t.Fatal("minimum columns not enforced")
+	}
+	if len(ds.Planted) != 1 {
+		t.Fatalf("planted = %d", len(ds.Planted))
+	}
+}
+
+func TestCSVRoundTripDataset(t *testing.T) {
+	ds := Spotify(100, 9)
+	dir := t.TempDir()
+	path := dir + "/sp.csv"
+	if err := ds.T.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := table.ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 100 || back.NumCols() != ds.T.NumCols() {
+		t.Fatalf("round-trip dims %dx%d", back.NumRows(), back.NumCols())
+	}
+}

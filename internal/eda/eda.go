@@ -1,0 +1,272 @@
+// Package eda models exploratory-data-analysis sessions for the paper's
+// simulation-based study (§6.2.2, Figure 6). The paper replays 122 real
+// sessions over the cyber-security dataset [Milo & Somech, KDD'18]; those
+// logs are a data gate, so this package *generates* sessions with the same
+// structure (sequences of select / project / group-by / sort steps) whose
+// parameters follow the data's genuine patterns with noise — an analyst
+// chasing signals. The generator never looks at any sub-table, so there is
+// no circularity in the capture measurement.
+//
+// The replayed metric is the paper's: for each step, build a sub-table of
+// the current query's result, then check which *fragments* of the next
+// query (referenced columns, selection terms) appear in that sub-table.
+package eda
+
+import (
+	"math/rand"
+
+	"subtab/internal/binning"
+	"subtab/internal/datagen"
+	"subtab/internal/query"
+	"subtab/internal/table"
+)
+
+// Fragment is a piece of a query that may or may not be visible in a
+// sub-table: a referenced column, optionally with a selection value.
+type Fragment struct {
+	Col      string
+	HasValue bool
+	Num      float64 // value for numeric columns
+	Str      string  // value for categorical columns
+}
+
+// Step is one exploratory query plus its fragments.
+type Step struct {
+	Q         *query.Query
+	Fragments []Fragment
+}
+
+// Session is a sequence of exploratory steps.
+type Session []Step
+
+// GenOptions configures session generation.
+type GenOptions struct {
+	// Sessions is the number of sessions (paper: 122).
+	Sessions int
+	// MinSteps/MaxSteps bound session length (defaults 4 and 8).
+	MinSteps, MaxSteps int
+	// PatternBias is the probability that a step's parameters are drawn
+	// from the dataset's planted patterns rather than uniformly (default
+	// 0.7): analysts mostly follow signals, sometimes wander.
+	PatternBias float64
+	Seed        int64
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.Sessions <= 0 {
+		o.Sessions = 122
+	}
+	if o.MinSteps <= 0 {
+		o.MinSteps = 4
+	}
+	if o.MaxSteps < o.MinSteps {
+		o.MaxSteps = o.MinSteps + 4
+	}
+	if o.PatternBias <= 0 {
+		o.PatternBias = 0.7
+	}
+	return o
+}
+
+// Generate produces EDA sessions over the dataset.
+func Generate(ds *datagen.Dataset, opt GenOptions) []Session {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	t := ds.T
+
+	// Pattern pool: (column, example value) pairs from rows exemplifying
+	// planted rules; analysts biased toward these.
+	type colVal struct {
+		col string
+		val table.Value
+	}
+	var pool []colVal
+	for _, pr := range ds.Planted {
+		found := 0
+		for r := 0; r < t.NumRows() && found < 10; r++ {
+			if !pr.Holds(t, r) {
+				continue
+			}
+			found++
+			for _, c := range pr.Cols {
+				v := t.Cell(r, c)
+				pool = append(pool, colVal{c, v})
+			}
+		}
+	}
+	names := t.ColumnNames()
+
+	pickCol := func() string {
+		if len(pool) > 0 && rng.Float64() < opt.PatternBias {
+			return pool[rng.Intn(len(pool))].col
+		}
+		return names[rng.Intn(len(names))]
+	}
+	pickColVal := func() (string, table.Value) {
+		if len(pool) > 0 && rng.Float64() < opt.PatternBias {
+			cv := pool[rng.Intn(len(pool))]
+			return cv.col, cv.val
+		}
+		c := names[rng.Intn(len(names))]
+		r := rng.Intn(t.NumRows())
+		return c, t.Cell(r, c)
+	}
+
+	sessions := make([]Session, opt.Sessions)
+	for si := range sessions {
+		steps := opt.MinSteps + rng.Intn(opt.MaxSteps-opt.MinSteps+1)
+		sess := make(Session, 0, steps)
+		for s := 0; s < steps; s++ {
+			q := &query.Query{}
+			var frags []Fragment
+			switch rng.Intn(4) {
+			case 0: // selection
+				col, v := pickColVal()
+				p := predicateFor(t, col, v)
+				q.Where = []query.Predicate{p}
+				frags = append(frags, fragmentFor(col, v))
+			case 1: // projection
+				nCols := 3 + rng.Intn(4)
+				seen := map[string]bool{}
+				for len(q.Select) < nCols {
+					c := pickCol()
+					if !seen[c] {
+						seen[c] = true
+						q.Select = append(q.Select, c)
+						frags = append(frags, Fragment{Col: c})
+					}
+				}
+			case 2: // group-by + aggregate
+				col := pickCol()
+				q.GroupBy = []string{col}
+				q.Aggs = []query.Aggregate{{Func: query.Count}}
+				frags = append(frags, Fragment{Col: col})
+				// Occasionally also filter.
+				if rng.Float64() < 0.4 {
+					fcol, v := pickColVal()
+					q.Where = []query.Predicate{predicateFor(t, fcol, v)}
+					frags = append(frags, fragmentFor(fcol, v))
+				}
+			default: // sort
+				col := pickCol()
+				q.OrderBy = col
+				q.Asc = rng.Intn(2) == 0
+				frags = append(frags, Fragment{Col: col})
+			}
+			sess = append(sess, Step{Q: q, Fragments: frags})
+		}
+		sessions[si] = sess
+	}
+	return sessions
+}
+
+// predicateFor builds a sensible predicate matching the value: equality for
+// categorical values, a >= or <= comparison for numeric values, IS NULL for
+// missing ones.
+func predicateFor(t *table.Table, col string, v table.Value) query.Predicate {
+	if v.Missing {
+		return query.Predicate{Col: col, Op: query.IsMissing}
+	}
+	if v.Kind == table.Categorical {
+		return query.Predicate{Col: col, Op: query.Eq, Str: v.Str}
+	}
+	// Numeric: half-open comparisons read more like real exploration than
+	// point equality.
+	if v.Num >= 0 {
+		return query.Predicate{Col: col, Op: query.Geq, Num: v.Num}
+	}
+	return query.Predicate{Col: col, Op: query.Leq, Num: v.Num}
+}
+
+func fragmentFor(col string, v table.Value) Fragment {
+	f := Fragment{Col: col, HasValue: !v.Missing}
+	if v.Kind == table.Categorical {
+		f.Str = v.Str
+	} else {
+		f.Num = v.Num
+	}
+	return f
+}
+
+// Captured reports whether the fragment is visible in the sub-table given
+// by source rows and column indices: the column must be displayed, and a
+// valued fragment additionally needs some displayed row whose cell falls in
+// the same bin as the value.
+func Captured(b *binning.Binned, rows []int, cols []int, f Fragment) bool {
+	ci := b.T.ColumnIndex(f.Col)
+	if ci < 0 {
+		return false
+	}
+	shown := false
+	for _, c := range cols {
+		if c == ci {
+			shown = true
+			break
+		}
+	}
+	if !shown {
+		return false
+	}
+	if !f.HasValue {
+		return true
+	}
+	// Bin of the fragment value.
+	cb := &b.Cols[ci]
+	var bin int
+	if cb.Kind == table.Numeric {
+		bin = cb.BinOfNum(f.Num)
+	} else {
+		code, ok := b.T.ColumnAt(ci).Dict.Lookup(f.Str)
+		if !ok {
+			return false
+		}
+		bin = cb.BinOfCat(code)
+	}
+	for _, r := range rows {
+		if int(b.Codes[ci][r]) == bin {
+			return true
+		}
+	}
+	return false
+}
+
+// Selector produces a sub-table (source rows + column indices) for a query
+// result; the replay drives one per algorithm.
+type Selector func(q *query.Query) (rows []int, cols []int, err error)
+
+// ReplayResult aggregates fragment capture over sessions.
+type ReplayResult struct {
+	Fragments int
+	Captured  int
+}
+
+// Rate returns the captured percentage in [0, 100].
+func (r ReplayResult) Rate() float64 {
+	if r.Fragments == 0 {
+		return 0
+	}
+	return 100 * float64(r.Captured) / float64(r.Fragments)
+}
+
+// Replay walks each session; at step i it builds the sub-table of step i's
+// query result via sel, then checks which fragments of step i+1 appear in
+// it (the paper's §6.2.2 protocol). Steps whose queries fail or return no
+// rows are skipped.
+func Replay(b *binning.Binned, sessions []Session, sel Selector) ReplayResult {
+	var out ReplayResult
+	for _, sess := range sessions {
+		for i := 0; i+1 < len(sess); i++ {
+			rows, cols, err := sel(sess[i].Q)
+			if err != nil || len(rows) == 0 {
+				continue
+			}
+			for _, f := range sess[i+1].Fragments {
+				out.Fragments++
+				if Captured(b, rows, cols, f) {
+					out.Captured++
+				}
+			}
+		}
+	}
+	return out
+}

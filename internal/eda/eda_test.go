@@ -1,0 +1,222 @@
+package eda
+
+import (
+	"testing"
+
+	"subtab/internal/binning"
+	"subtab/internal/datagen"
+	"subtab/internal/query"
+	"subtab/internal/table"
+)
+
+func testDataset(t *testing.T) (*datagen.Dataset, *binning.Binned) {
+	t.Helper()
+	ds := datagen.Cyber(1500, 1)
+	b, err := binning.Bin(ds.T, binning.Options{MaxBins: 5, Strategy: binning.Quantile, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, _ := testDataset(t)
+	sessions := Generate(ds, GenOptions{Sessions: 10, MinSteps: 3, MaxSteps: 5, Seed: 2})
+	if len(sessions) != 10 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	for _, s := range sessions {
+		if len(s) < 3 || len(s) > 5 {
+			t.Fatalf("session length = %d", len(s))
+		}
+		for _, step := range s {
+			if step.Q == nil {
+				t.Fatal("nil query")
+			}
+			if len(step.Fragments) == 0 {
+				t.Fatal("step without fragments")
+			}
+			for _, f := range step.Fragments {
+				if ds.T.Column(f.Col) == nil {
+					t.Fatalf("fragment references unknown column %q", f.Col)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDefault122(t *testing.T) {
+	ds, _ := testDataset(t)
+	sessions := Generate(ds, GenOptions{Seed: 3})
+	if len(sessions) != 122 {
+		t.Fatalf("default sessions = %d, want 122 (as in the paper)", len(sessions))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ds, _ := testDataset(t)
+	a := Generate(ds, GenOptions{Sessions: 5, Seed: 4})
+	b := Generate(ds, GenOptions{Sessions: 5, Seed: 4})
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("session lengths differ")
+		}
+		for j := range a[i] {
+			if a[i][j].Q.String() != b[i][j].Q.String() {
+				t.Fatal("queries differ for same seed")
+			}
+		}
+	}
+}
+
+func TestQueriesExecutable(t *testing.T) {
+	ds, _ := testDataset(t)
+	sessions := Generate(ds, GenOptions{Sessions: 20, Seed: 5})
+	executed, nonEmpty := 0, 0
+	for _, s := range sessions {
+		for _, step := range s {
+			res, _, err := step.Q.Apply(ds.T)
+			if err != nil {
+				t.Fatalf("query %s failed: %v", step.Q, err)
+			}
+			executed++
+			if res.NumRows() > 0 {
+				nonEmpty++
+			}
+		}
+	}
+	if nonEmpty < executed/2 {
+		t.Fatalf("only %d/%d queries returned rows", nonEmpty, executed)
+	}
+}
+
+func TestCapturedColumnOnly(t *testing.T) {
+	_, b := testDataset(t)
+	ci := b.T.ColumnIndex("service")
+	f := Fragment{Col: "service"}
+	if !Captured(b, []int{0, 1}, []int{ci}, f) {
+		t.Fatal("column fragment with column shown should be captured")
+	}
+	other := b.T.ColumnIndex("hour")
+	if Captured(b, []int{0, 1}, []int{other}, f) {
+		t.Fatal("column fragment without column shown should not be captured")
+	}
+	if Captured(b, []int{0}, []int{ci}, Fragment{Col: "nope"}) {
+		t.Fatal("unknown column should not be captured")
+	}
+}
+
+func TestCapturedValue(t *testing.T) {
+	_, b := testDataset(t)
+	ci := b.T.ColumnIndex("attack_type")
+	// Find a row with a brute_force attack.
+	row := -1
+	for r := 0; r < b.T.NumRows(); r++ {
+		if b.T.Cell(r, "attack_type").Str == "brute_force" {
+			row = r
+			break
+		}
+	}
+	if row < 0 {
+		t.Fatal("no brute_force row")
+	}
+	f := Fragment{Col: "attack_type", HasValue: true, Str: "brute_force"}
+	if !Captured(b, []int{row}, []int{ci}, f) {
+		t.Fatal("value shown in sub-table should be captured")
+	}
+	// A row with a different attack type does not capture it.
+	other := -1
+	for r := 0; r < b.T.NumRows(); r++ {
+		if b.T.Cell(r, "attack_type").Str == "none" {
+			other = r
+			break
+		}
+	}
+	if Captured(b, []int{other}, []int{ci}, f) {
+		t.Fatal("value not shown should not be captured")
+	}
+	// Unknown categorical value.
+	if Captured(b, []int{row}, []int{ci}, Fragment{Col: "attack_type", HasValue: true, Str: "zzz"}) {
+		t.Fatal("unknown value should not be captured")
+	}
+}
+
+func TestCapturedNumericBin(t *testing.T) {
+	_, b := testDataset(t)
+	ci := b.T.ColumnIndex("duration")
+	dur := b.T.Column("duration")
+	f := Fragment{Col: "duration", HasValue: true, Num: dur.Nums[0]}
+	if !Captured(b, []int{0}, []int{ci}, f) {
+		t.Fatal("same-bin numeric value should be captured")
+	}
+}
+
+func TestReplayRates(t *testing.T) {
+	ds, b := testDataset(t)
+	sessions := Generate(ds, GenOptions{Sessions: 10, Seed: 6})
+
+	// A selector showing everything captures every resolvable fragment.
+	allCols := make([]int, b.NumCols())
+	for i := range allCols {
+		allCols[i] = i
+	}
+	full := Replay(b, sessions, func(q *query.Query) ([]int, []int, error) {
+		rows := q.MatchingRows(ds.T)
+		return rows, allCols, nil
+	})
+	if full.Fragments == 0 {
+		t.Fatal("no fragments replayed")
+	}
+	if full.Rate() < 60 {
+		t.Fatalf("full-table capture rate = %v%%, expected high", full.Rate())
+	}
+
+	// A selector showing nothing captures nothing.
+	none := Replay(b, sessions, func(q *query.Query) ([]int, []int, error) {
+		return []int{0}, nil, nil
+	})
+	if none.Captured != 0 {
+		t.Fatalf("empty selector captured %d", none.Captured)
+	}
+
+	// Narrow selector sits in between.
+	narrow := Replay(b, sessions, func(q *query.Query) ([]int, []int, error) {
+		rows := q.MatchingRows(ds.T)
+		if len(rows) > 3 {
+			rows = rows[:3]
+		}
+		return rows, allCols[:3], nil
+	})
+	if narrow.Rate() > full.Rate() {
+		t.Fatalf("narrow (%v%%) should not beat full (%v%%)", narrow.Rate(), full.Rate())
+	}
+}
+
+func TestReplaySkipsFailingQueries(t *testing.T) {
+	ds, b := testDataset(t)
+	sessions := Generate(ds, GenOptions{Sessions: 3, Seed: 7})
+	res := Replay(b, sessions, func(q *query.Query) ([]int, []int, error) {
+		return nil, nil, nil // selector yields no rows: all skipped
+	})
+	if res.Fragments != 0 || res.Captured != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Rate() != 0 {
+		t.Fatal("rate of zero fragments should be 0")
+	}
+}
+
+func TestPredicateForMissing(t *testing.T) {
+	tab := table.New("t")
+	if err := tab.AddColumn(table.NewNumeric("x", []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	p := predicateFor(tab, "x", table.Value{Missing: true})
+	if p.Op != query.IsMissing {
+		t.Fatalf("op = %v", p.Op)
+	}
+	p = predicateFor(tab, "x", table.Value{Kind: table.Numeric, Num: -5})
+	if p.Op != query.Leq {
+		t.Fatalf("op = %v", p.Op)
+	}
+}

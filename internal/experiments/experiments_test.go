@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testLab returns a lab small enough for unit tests (seconds, not minutes).
+func testLab() *Lab {
+	l := NewLab(42)
+	l.Rows = map[string]int{"FL": 3000, "CC": 2500, "SP": 2500, "CY": 2000, "BL": 2500, "USF": 400}
+	l.Dim = 24
+	l.Epochs = 4
+	l.Workers = 1 // deterministic embeddings (hogwild off)
+	l.RanIters = 25
+	l.MABIters = 4000
+	l.MaxCombos = 4
+	return l
+}
+
+func TestPrepareCaches(t *testing.T) {
+	l := testLab()
+	p1, err := l.Prepare("CY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := l.Prepare("CY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("Prepare should cache")
+	}
+	if len(p1.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	if p1.PreprocessTime <= 0 {
+		t.Fatal("preprocess time not recorded")
+	}
+}
+
+func TestPrepareUnknown(t *testing.T) {
+	l := testLab()
+	if _, err := l.Prepare("XX"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+// TestUserStudyShape verifies the Table 1 claim: SubTab yields more correct
+// insights and fewer empty-handed analysts than RAN and NC, and its
+// intrinsic combined score ranks the same way (§6.2.3).
+func TestUserStudyShape(t *testing.T) {
+	l := testLab()
+	res, err := l.UserStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]StudyRow{}
+	for _, r := range res.Rows {
+		byName[r.Baseline] = r
+	}
+	st, ran, nc := byName["SubTab"], byName["RAN"], byName["NC"]
+	if st.AvgCorrect <= ran.AvgCorrect || st.AvgCorrect <= nc.AvgCorrect {
+		t.Fatalf("SubTab correct insights (%.2f) should beat RAN (%.2f) and NC (%.2f)",
+			st.AvgCorrect, ran.AvgCorrect, nc.AvgCorrect)
+	}
+	// Nearly every SubTab analyst walks away with at least one insight
+	// (paper: 0% empty-handed; 5 analysts per dataset makes this noisy, so
+	// allow one unlucky analyst).
+	if st.PctNoInsights > ran.PctNoInsights || st.PctNoInsights > 25 {
+		t.Fatalf("SubTab no-insight %% (%.0f) should be low and not exceed RAN (%.0f)",
+			st.PctNoInsights, ran.PctNoInsights)
+	}
+	// The intrinsic combined score on the displayed query views stays
+	// competitive. (Our RAN optimizes this very score directly per display
+	// and NC's one-hot row clustering maximizes bin-diversity on small query
+	// slices, where diversity dominates the combined score — see
+	// EXPERIMENTS.md — so SubTab-vs-baseline separation is asserted on user
+	// outcomes above and on the full-table views of Fig. 8, not here.)
+	if st.AvgCombined < nc.AvgCombined-0.08 {
+		t.Fatalf("SubTab combined (%.2f) far below NC (%.2f)", st.AvgCombined, nc.AvgCombined)
+	}
+	// Figure 5: SubTab's ratings top NC on every question and are not
+	// dominated by RAN overall.
+	ranTotal, stTotal := 0.0, 0.0
+	for q := 0; q < 4; q++ {
+		if st.Ratings[q] <= nc.Ratings[q] {
+			t.Fatalf("Q%d: SubTab %.1f should top NC %.1f", q+1, st.Ratings[q], nc.Ratings[q])
+		}
+		stTotal += st.Ratings[q]
+		ranTotal += ran.Ratings[q]
+	}
+	if stTotal < ranTotal-1.5 {
+		t.Fatalf("SubTab total ratings %.1f clearly below RAN %.1f", stTotal, ranTotal)
+	}
+	out := res.String()
+	for _, want := range []string{"Table 1", "Figure 5", "SubTab", "RAN", "NC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig6Shape verifies the simulation-study claims: SubTab captures more
+// next-query fragments than the baselines, and more columns help.
+func TestFig6Shape(t *testing.T) {
+	l := testLab()
+	res, err := l.Fig6(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Widths) != 5 || res.Widths[0] != 3 || res.Widths[4] != 7 {
+		t.Fatalf("widths = %v", res.Widths)
+	}
+	// SubTab beats both baselines on average across widths.
+	avg := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	st, ran, nc := avg(res.Rates["SubTab"]), avg(res.Rates["RAN"]), avg(res.Rates["NC"])
+	if st <= ran || st <= nc {
+		t.Fatalf("SubTab capture %.1f%% should beat RAN %.1f%% and NC %.1f%%", st, ran, nc)
+	}
+	// Wider sub-tables help SubTab: width 7 beats width 3.
+	rates := res.Rates["SubTab"]
+	if rates[4] < rates[0] {
+		t.Fatalf("capture at width 7 (%.1f%%) below width 3 (%.1f%%)", rates[4], rates[0])
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestFig7Shape verifies the slow-baseline claims: every algorithm reports
+// a quality in [0,1]; SubTab is competitive with EmbDI; MAB does not win.
+func TestFig7Shape(t *testing.T) {
+	l := testLab()
+	res, err := l.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig7Row{}
+	for _, r := range res.Rows {
+		if r.Score < 0 || r.Score > 1 {
+			t.Fatalf("%s score = %v", r.Algorithm, r.Score)
+		}
+		byName[r.Algorithm] = r
+	}
+	for _, want := range []string{"SubTab", "EmbDI", "MAB", "Greedy", "RAN"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing algorithm %s", want)
+		}
+	}
+	if byName["SubTab"].XSubTab != 1 {
+		t.Fatal("SubTab must be the time unit")
+	}
+	// The slow baselines are slow: every one of them costs a multiple of
+	// SubTab's full pipeline (pre-processing + selection); greedy is the
+	// slowest, as in the paper.
+	for _, slow := range []string{"EmbDI", "MAB", "Greedy"} {
+		if byName[slow].XSubTab <= 1 {
+			t.Fatalf("%s should be slower than SubTab (%.1fX)", slow, byName[slow].XSubTab)
+		}
+	}
+	// SubTab stays competitive with the best slow baseline at a fraction of
+	// the cost (the paper's headline for Figure 7).
+	if byName["SubTab"].Score < byName["RAN"].Score-0.05 {
+		t.Fatalf("SubTab (%.2f) far below RAN (%.2f)", byName["SubTab"].Score, byName["RAN"].Score)
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestFig8Shape verifies the quality-metric claims: SubTab's cell coverage
+// dominates both baselines on every dataset, its combined score beats NC
+// everywhere and RAN on average (our best-of-N RAN optimizes the reported
+// metric directly and is stronger than the paper's one-minute budget at
+// full scale; see EXPERIMENTS.md).
+func TestFig8Shape(t *testing.T) {
+	l := testLab()
+	res, err := l.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stSum, ranSum float64
+	for _, ds := range res.Datasets {
+		cells := res.Cells[ds]
+		st := cells["SubTab"]
+		for _, m := range []Fig8Cell{st, cells["RAN"], cells["NC"]} {
+			if m.Diversity < 0 || m.Diversity > 1 || m.CellCov < 0 || m.CellCov > 1 {
+				t.Fatalf("%s: metrics out of range %+v", ds, m)
+			}
+		}
+		if st.Combined <= cells["NC"].Combined {
+			t.Fatalf("%s: SubTab combined %.2f should beat NC %.2f", ds, st.Combined, cells["NC"].Combined)
+		}
+		if st.Combined < cells["RAN"].Combined-0.06 {
+			t.Fatalf("%s: SubTab combined %.2f far below RAN %.2f", ds, st.Combined, cells["RAN"].Combined)
+		}
+		if st.CellCov < cells["RAN"].CellCov-0.02 || st.CellCov < cells["NC"].CellCov-0.02 {
+			t.Fatalf("%s: SubTab coverage %.2f below baselines (RAN %.2f, NC %.2f)",
+				ds, st.CellCov, cells["RAN"].CellCov, cells["NC"].CellCov)
+		}
+		stSum += st.Combined
+		ranSum += cells["RAN"].Combined
+	}
+	if stSum < ranSum-0.03 {
+		t.Fatalf("SubTab combined total %.2f should not trail RAN total %.2f", stSum, ranSum)
+	}
+	// FL is the paper's headline wide table: SubTab must win it outright.
+	fl := res.Cells["FL"]
+	if fl["SubTab"].Combined <= fl["RAN"].Combined {
+		t.Fatalf("FL: SubTab %.2f should beat RAN %.2f", fl["SubTab"].Combined, fl["RAN"].Combined)
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestFig9Shape verifies the runtime-split claim: selection is much cheaper
+// than pre-processing (that is the point of the two-phase design).
+func TestFig9Shape(t *testing.T) {
+	l := testLab()
+	res, err := l.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Preprocess <= 0 {
+			t.Fatalf("%s: preprocess time = %v", row.Dataset, row.Preprocess)
+		}
+		if row.Selection >= row.Preprocess {
+			t.Fatalf("%s: selection (%v) should be cheaper than pre-processing (%v)",
+				row.Dataset, row.Selection, row.Preprocess)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Fatal("render missing header")
+	}
+}
+
+// TestFig10Shape verifies the parameter-tuning claims: SubTab's coverage
+// dominates the baselines across all evaluation settings (the paper's
+// "ranking between algorithms is preserved").
+func TestFig10Shape(t *testing.T) {
+	l := testLab()
+	res, err := l.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, series map[string][]float64, nPoints int) {
+		for _, baseline := range []string{"SubTab", "RAN", "NC"} {
+			if len(series[baseline]) != nPoints {
+				t.Fatalf("%s/%s: %d points, want %d", name, baseline, len(series[baseline]), nPoints)
+			}
+		}
+		for i := 0; i < nPoints; i++ {
+			st := series["SubTab"][i]
+			if st < series["RAN"][i] && st < series["NC"][i] {
+				t.Fatalf("%s[%d]: SubTab %.3f below both RAN %.3f and NC %.3f",
+					name, i, st, series["RAN"][i], series["NC"][i])
+			}
+		}
+	}
+	check("bins", res.ByBins, 3)
+	check("support", res.BySupport, 3)
+	check("confidence", res.ByConfidence, 4)
+	if !strings.Contains(res.String(), "Figure 10") {
+		t.Fatal("render missing header")
+	}
+}

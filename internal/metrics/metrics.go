@@ -1,0 +1,201 @@
+// Package metrics implements the paper's informativeness metrics for
+// sub-tables: cell coverage (Def. 3.6), diversity (Def. 3.7), and the
+// combined score (Eq. 3).
+//
+// Cell coverage of a sub-table counts the cells of the *full* table that are
+// describable by association rules covered by the sub-table — a rule is
+// covered when all its columns are selected and at least one selected row
+// satisfies it — normalized by upcov, the number of cells describable by any
+// rule at all. Diversity is one minus the average pairwise Jaccard
+// similarity of the sub-table's rows over their binned values.
+package metrics
+
+import (
+	"subtab/internal/binning"
+	"subtab/internal/bitset"
+	"subtab/internal/rules"
+)
+
+// SubTable identifies a candidate sub-table by row and column indices into
+// the full table.
+type SubTable struct {
+	Rows []int
+	Cols []int
+}
+
+// Evaluator scores sub-tables against a fixed binned table and rule set. It
+// precomputes upcov and reuses scratch buffers across calls; it is not safe
+// for concurrent use (Clone one per goroutine).
+type Evaluator struct {
+	B     *binning.Binned
+	Rules []rules.Rule
+	Alpha float64 // combined-score balance, paper default 0.5
+
+	upcov   int
+	scratch []*bitset.Set // per-column covered-row accumulators
+	rowSet  *bitset.Set
+	colSet  []bool
+}
+
+// NewEvaluator builds an evaluator; alpha is the combined-score weight on
+// cell coverage (Eq. 3), 0.5 in the paper.
+func NewEvaluator(b *binning.Binned, rs []rules.Rule, alpha float64) *Evaluator {
+	e := &Evaluator{B: b, Rules: rs, Alpha: alpha}
+	n, m := b.NumRows(), b.NumCols()
+	e.scratch = make([]*bitset.Set, m)
+	for c := range e.scratch {
+		e.scratch[c] = bitset.New(n)
+	}
+	e.rowSet = bitset.New(n)
+	e.colSet = make([]bool, m)
+	e.upcov = e.computeUpcov()
+	return e
+}
+
+// Clone returns an independent evaluator sharing the (immutable) table and
+// rules.
+func (e *Evaluator) Clone() *Evaluator {
+	return NewEvaluator(e.B, e.Rules, e.Alpha)
+}
+
+// Upcov returns the normalization constant of Def. 3.6 (d3): the number of
+// cells of T describable by any rule in R.
+func (e *Evaluator) Upcov() int { return e.upcov }
+
+func (e *Evaluator) computeUpcov() int {
+	for c := range e.scratch {
+		e.scratch[c].Clear()
+	}
+	for i := range e.Rules {
+		r := &e.Rules[i]
+		for _, c := range r.Cols {
+			e.scratch[c].Or(r.Tuples)
+		}
+	}
+	total := 0
+	for c := range e.scratch {
+		total += e.scratch[c].Count()
+	}
+	return total
+}
+
+// CoveredCells returns the raw number of cells of T described by rules
+// covered by the sub-table (the numerator of Def. 3.6 before normalizing).
+func (e *Evaluator) CoveredCells(st SubTable) int {
+	e.rowSet.Clear()
+	for _, r := range st.Rows {
+		e.rowSet.Add(r)
+	}
+	for c := range e.colSet {
+		e.colSet[c] = false
+	}
+	for _, c := range st.Cols {
+		e.colSet[c] = true
+	}
+	for c := range e.scratch {
+		e.scratch[c].Clear()
+	}
+	for i := range e.Rules {
+		r := &e.Rules[i]
+		ok := true
+		for _, c := range r.Cols {
+			if !e.colSet[c] {
+				ok = false
+				break
+			}
+		}
+		if !ok || !r.Tuples.Intersects(e.rowSet) {
+			continue
+		}
+		for _, c := range r.Cols {
+			e.scratch[c].Or(r.Tuples)
+		}
+	}
+	total := 0
+	for _, c := range st.Cols {
+		total += e.scratch[c].Count()
+	}
+	return total
+}
+
+// CellCoverage returns cellCov_R(T, T_sub) ∈ [0, 1] (Def. 3.6). With an
+// empty rule set coverage is defined as 0.
+func (e *Evaluator) CellCoverage(st SubTable) float64 {
+	if e.upcov == 0 {
+		return 0
+	}
+	return float64(e.CoveredCells(st)) / float64(e.upcov)
+}
+
+// CoveredRules returns the indices (into the evaluator's rule slice) of the
+// rules covered by the sub-table — used by the UI to highlight patterns.
+func (e *Evaluator) CoveredRules(st SubTable) []int {
+	e.rowSet.Clear()
+	for _, r := range st.Rows {
+		e.rowSet.Add(r)
+	}
+	for c := range e.colSet {
+		e.colSet[c] = false
+	}
+	for _, c := range st.Cols {
+		e.colSet[c] = true
+	}
+	var out []int
+	for i := range e.Rules {
+		r := &e.Rules[i]
+		ok := true
+		for _, c := range r.Cols {
+			if !e.colSet[c] {
+				ok = false
+				break
+			}
+		}
+		if ok && r.Tuples.Intersects(e.rowSet) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Jaccard returns the similarity of two rows over the given columns: the
+// fraction of columns whose values fall in the same bin (Def. 3.7). Missing
+// values share the dedicated missing bin and therefore count as similar.
+func Jaccard(b *binning.Binned, r1, r2 int, cols []int) float64 {
+	if len(cols) == 0 {
+		return 0
+	}
+	same := 0
+	for _, c := range cols {
+		if b.Codes[c][r1] == b.Codes[c][r2] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(cols))
+}
+
+// Diversity returns divers(T_sub, B) = 1 − avg pairwise Jaccard (Def. 3.7).
+// Sub-tables with fewer than two rows are maximally diverse (1).
+func Diversity(b *binning.Binned, st SubTable) float64 {
+	k := len(st.Rows)
+	if k < 2 {
+		return 1
+	}
+	sum := 0.0
+	pairs := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			sum += Jaccard(b, st.Rows[i], st.Rows[j], st.Cols)
+			pairs++
+		}
+	}
+	return 1 - sum/float64(pairs)
+}
+
+// Diversity computes the diversity metric via the evaluator's table.
+func (e *Evaluator) Diversity(st SubTable) float64 { return Diversity(e.B, st) }
+
+// Combined returns the combined informativeness score of Eq. 3:
+// α·cellCov + (1−α)·diversity.
+func (e *Evaluator) Combined(st SubTable) float64 {
+	return e.Alpha*e.CellCoverage(st) + (1-e.Alpha)*Diversity(e.B, st)
+}

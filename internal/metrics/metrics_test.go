@@ -1,0 +1,401 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"subtab/internal/binning"
+	"subtab/internal/bitset"
+	"subtab/internal/rules"
+	"subtab/internal/table"
+)
+
+// paperExample builds the table T̂ of Figure 3 plus the rule family the
+// paper defines for it: all rules with CANCELLED on the right-hand side, at
+// least two other columns on the left, holding for at least two rows.
+func paperExample(t *testing.T) (*binning.Binned, []rules.Rule) {
+	t.Helper()
+	tab := table.New("paper")
+	add := func(name string, vals []string) {
+		if err := tab.AddColumn(table.NewCategorical(name, vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("CANCELLED", []string{"1", "1", "1", "1", "0", "0", "0", "0"})
+	add("DEP_TIME", []string{"", "", "", "", "morning", "morning", "evening", "evening"})
+	add("YEAR", []string{"2015", "2015", "2015", "2015", "2016", "2015", "2015", "2015"})
+	add("SCHED_DEP", []string{"afternoon", "afternoon", "morning", "morning", "morning", "morning", "evening", "afternoon"})
+	add("DISTANCE", []string{"short", "medium", "medium", "short", "medium", "medium", "long", "long"})
+	b, err := binning.Bin(tab, binning.Options{MaxBins: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, referenceRules(b, 0, 2, 2)
+}
+
+// referenceRules enumerates by brute force all rules whose RHS is a bin of
+// the target column (index targetCol), whose LHS spans at least minLHS other
+// columns (one item each), and which hold for at least minRows rows.
+// Itemset-duplicate rules are emitted once (coverage-equivalent).
+func referenceRules(b *binning.Binned, targetCol, minLHS, minRows int) []rules.Rule {
+	n := b.NumRows()
+	m := b.NumCols()
+	others := []int{}
+	for c := 0; c < m; c++ {
+		if c != targetCol {
+			others = append(others, c)
+		}
+	}
+	seen := map[string]bool{}
+	var out []rules.Rule
+	var cols []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cols) >= minLHS {
+			// One rule per row's value combination on cols + target.
+			for r := 0; r < n; r++ {
+				items := make(rules.Itemset, 0, len(cols)+1)
+				for _, c := range cols {
+					items = append(items, b.Item(c, r))
+				}
+				items = append(items, b.Item(targetCol, r))
+				sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+				k := items.String()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				tuples := bitset.New(n)
+				for r2 := 0; r2 < n; r2++ {
+					holds := true
+					for _, it := range items {
+						c := b.ColOfItem(it)
+						if b.Item(c, r2) != it {
+							holds = false
+							break
+						}
+					}
+					if holds {
+						tuples.Add(r2)
+					}
+				}
+				if tuples.Count() < minRows {
+					continue
+				}
+				ruleCols := append(append([]int{}, cols...), targetCol)
+				sort.Ints(ruleCols)
+				lhs := items[:len(items)-1]
+				out = append(out, rules.Rule{
+					LHS: append(rules.Itemset{}, lhs...), RHS: rules.Itemset{items[len(items)-1]},
+					Items:   append(rules.Itemset{}, items...),
+					Support: float64(tuples.Count()) / float64(n),
+					Tuples:  tuples, Cols: ruleCols,
+				})
+			}
+		}
+		for i := start; i < len(others); i++ {
+			cols = append(cols, others[i])
+			rec(i + 1)
+			cols = cols[:len(cols)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func colIdx(t *testing.T, b *binning.Binned, names ...string) []int {
+	t.Helper()
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = b.T.ColumnIndex(n)
+		if out[i] < 0 {
+			t.Fatalf("unknown column %q", n)
+		}
+	}
+	return out
+}
+
+// TestPaperExample reproduces the worked example of §3.2 exactly:
+// upcov = 36; T̂(1) covers 28 cells (0.78), T̂(2) 26 (0.72), T̂(3) 24;
+// diversity 0.83 for T̂(1) and 0.92 for T̂(3); combined 0.80 and 0.79.
+func TestPaperExample(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+
+	if e.Upcov() != 36 {
+		t.Fatalf("upcov = %d, want 36", e.Upcov())
+	}
+
+	rows := []int{0, 4, 6} // paper rows 1, 5, 7
+	st1 := SubTable{Rows: rows, Cols: colIdx(t, b, "CANCELLED", "DEP_TIME", "YEAR", "DISTANCE")}
+	st2 := SubTable{Rows: rows, Cols: colIdx(t, b, "CANCELLED", "DEP_TIME", "YEAR", "SCHED_DEP")}
+	st3 := SubTable{Rows: rows, Cols: colIdx(t, b, "CANCELLED", "DEP_TIME", "SCHED_DEP", "DISTANCE")}
+
+	if got := e.CoveredCells(st1); got != 28 {
+		t.Errorf("T̂(1) covered cells = %d, want 28", got)
+	}
+	if got := e.CoveredCells(st2); got != 26 {
+		t.Errorf("T̂(2) covered cells = %d, want 26", got)
+	}
+	if got := e.CoveredCells(st3); got != 24 {
+		t.Errorf("T̂(3) covered cells = %d, want 24", got)
+	}
+
+	if got := e.CellCoverage(st1); math.Abs(got-28.0/36.0) > 1e-12 {
+		t.Errorf("T̂(1) coverage = %v", got)
+	}
+	if got := Diversity(b, st1); math.Abs(got-(1-(0.25+0+0.25)/3)) > 1e-12 {
+		t.Errorf("T̂(1) diversity = %v, want 0.8333", got)
+	}
+	if got := Diversity(b, st3); math.Abs(got-(1-0.25/3)) > 1e-12 {
+		t.Errorf("T̂(3) diversity = %v, want 0.9167", got)
+	}
+
+	c1 := e.Combined(st1)
+	c3 := e.Combined(st3)
+	if math.Abs(c1-0.8056) > 0.001 {
+		t.Errorf("T̂(1) combined = %v, want ≈0.80", c1)
+	}
+	if math.Abs(c3-0.7917) > 0.001 {
+		t.Errorf("T̂(3) combined = %v, want ≈0.79", c3)
+	}
+	if c1 <= c3 {
+		t.Errorf("paper: T̂(1) (%v) should beat T̂(3) (%v)", c1, c3)
+	}
+}
+
+func TestCoveredRules(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+	st := SubTable{Rows: []int{0, 4, 6}, Cols: colIdx(t, b, "CANCELLED", "DEP_TIME", "YEAR", "DISTANCE")}
+	idx := e.CoveredRules(st)
+	if len(idx) == 0 {
+		t.Fatal("expected covered rules")
+	}
+	for _, i := range idx {
+		r := rs[i]
+		// All rule columns selected.
+		inCols := map[int]bool{}
+		for _, c := range st.Cols {
+			inCols[c] = true
+		}
+		for _, c := range r.Cols {
+			if !inCols[c] {
+				t.Fatalf("covered rule %d uses unselected column %d", i, c)
+			}
+		}
+		// Some selected row satisfies it.
+		ok := false
+		for _, row := range st.Rows {
+			if r.Tuples.Contains(row) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("covered rule %d has no satisfying selected row", i)
+		}
+	}
+}
+
+func TestEmptyRuleSet(t *testing.T) {
+	b, _ := paperExample(t)
+	e := NewEvaluator(b, nil, 0.5)
+	st := SubTable{Rows: []int{0, 1}, Cols: []int{0, 1}}
+	if e.Upcov() != 0 {
+		t.Fatal("upcov of empty rule set should be 0")
+	}
+	if e.CellCoverage(st) != 0 {
+		t.Fatal("coverage with no rules should be 0")
+	}
+	// Combined degrades to diversity-only.
+	if got, want := e.Combined(st), 0.5*Diversity(b, st); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("combined = %v, want %v", got, want)
+	}
+}
+
+func TestDiversityBounds(t *testing.T) {
+	b, _ := paperExample(t)
+	// Identical rows: diversity 0.
+	st := SubTable{Rows: []int{0, 0, 0}, Cols: []int{0, 1, 2}}
+	if got := Diversity(b, st); got != 0 {
+		t.Fatalf("identical-row diversity = %v", got)
+	}
+	// Single row: 1.
+	if got := Diversity(b, SubTable{Rows: []int{3}, Cols: []int{0}}); got != 1 {
+		t.Fatalf("single-row diversity = %v", got)
+	}
+	// No rows: 1.
+	if got := Diversity(b, SubTable{Cols: []int{0}}); got != 1 {
+		t.Fatalf("empty diversity = %v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	b, _ := paperExample(t)
+	cols := []int{0, 1, 2, 3, 4}
+	// Rows 1,2 (paper): CANC=1, DEP=NaN, YEAR=2015 match; SCHED matches
+	// (afternoon); DISTANCE differs => 4/5.
+	if got := Jaccard(b, 0, 1, cols); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Jaccard(0,1) = %v", got)
+	}
+	// Reflexive.
+	if got := Jaccard(b, 3, 3, cols); got != 1 {
+		t.Fatalf("Jaccard(x,x) = %v", got)
+	}
+	// Symmetric.
+	if Jaccard(b, 0, 5, cols) != Jaccard(b, 5, 0, cols) {
+		t.Fatal("Jaccard must be symmetric")
+	}
+	// Empty columns.
+	if got := Jaccard(b, 0, 1, nil); got != 0 {
+		t.Fatalf("Jaccard over no columns = %v", got)
+	}
+}
+
+func TestMissingValuesCountAsSimilar(t *testing.T) {
+	b, _ := paperExample(t)
+	// Rows 1 and 2 both have DEP_TIME = NaN: same missing bin.
+	dep := []int{b.T.ColumnIndex("DEP_TIME")}
+	if got := Jaccard(b, 0, 1, dep); got != 1 {
+		t.Fatalf("NaN-NaN similarity = %v, want 1", got)
+	}
+	// Row 1 (NaN) vs row 5 (morning): different.
+	if got := Jaccard(b, 0, 4, dep); got != 0 {
+		t.Fatalf("NaN-value similarity = %v, want 0", got)
+	}
+}
+
+// Property: coverage is monotone in rows — adding a row never decreases it.
+func TestPropCoverageMonotoneInRows(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+	cols := []int{0, 1, 2, 3, 4}
+	f := func(rawRows []uint8, extra uint8) bool {
+		rows := []int{}
+		for _, r := range rawRows {
+			rows = append(rows, int(r)%8)
+		}
+		base := e.CoveredCells(SubTable{Rows: rows, Cols: cols})
+		more := e.CoveredCells(SubTable{Rows: append(rows, int(extra)%8), Cols: cols})
+		return more >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coverage is submodular in rows — the marginal gain of a new row
+// shrinks as the base set grows (the fact behind Prop. 4.3).
+func TestPropCoverageSubmodularInRows(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+	cols := []int{0, 1, 2, 3, 4}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		// A ⊆ B, x ∉ B.
+		var a, bset []int
+		for r := 0; r < 8; r++ {
+			switch rng.Intn(3) {
+			case 0:
+				a = append(a, r)
+				bset = append(bset, r)
+			case 1:
+				bset = append(bset, r)
+			}
+		}
+		x := rng.Intn(8)
+		inB := false
+		for _, r := range bset {
+			if r == x {
+				inB = true
+			}
+		}
+		if inB {
+			continue
+		}
+		gainA := e.CoveredCells(SubTable{Rows: append(append([]int{}, a...), x), Cols: cols}) -
+			e.CoveredCells(SubTable{Rows: a, Cols: cols})
+		gainB := e.CoveredCells(SubTable{Rows: append(append([]int{}, bset...), x), Cols: cols}) -
+			e.CoveredCells(SubTable{Rows: bset, Cols: cols})
+		if gainA < gainB {
+			t.Fatalf("submodularity violated: A=%v B=%v x=%d gains %d < %d", a, bset, x, gainA, gainB)
+		}
+	}
+}
+
+// Property: all metrics stay within [0, 1].
+func TestPropMetricBounds(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+	f := func(rawRows, rawCols []uint8) bool {
+		rows := []int{}
+		for _, r := range rawRows {
+			rows = append(rows, int(r)%8)
+		}
+		colSet := map[int]bool{}
+		for _, c := range rawCols {
+			colSet[int(c)%5] = true
+		}
+		cols := []int{}
+		for c := range colSet {
+			cols = append(cols, c)
+		}
+		st := SubTable{Rows: rows, Cols: cols}
+		cov := e.CellCoverage(st)
+		div := Diversity(b, st)
+		comb := e.Combined(st)
+		return cov >= 0 && cov <= 1 && div >= 0 && div <= 1 && comb >= 0 && comb <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Full table as sub-table covers everything coverable.
+func TestFullTableCoversUpcov(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+	st := SubTable{Rows: []int{0, 1, 2, 3, 4, 5, 6, 7}, Cols: []int{0, 1, 2, 3, 4}}
+	if got := e.CoveredCells(st); got != e.Upcov() {
+		t.Fatalf("full table covers %d, upcov %d", got, e.Upcov())
+	}
+	if got := e.CellCoverage(st); got != 1 {
+		t.Fatalf("full-table coverage = %v", got)
+	}
+}
+
+func TestEvaluatorClone(t *testing.T) {
+	b, rs := paperExample(t)
+	e := NewEvaluator(b, rs, 0.5)
+	c := e.Clone()
+	st := SubTable{Rows: []int{0, 4, 6}, Cols: []int{0, 1, 2, 4}}
+	if e.Combined(st) != c.Combined(st) {
+		t.Fatal("clone must score identically")
+	}
+	if c.Upcov() != e.Upcov() {
+		t.Fatal("clone upcov mismatch")
+	}
+}
+
+// The miner's rules plug into the evaluator (integration smoke).
+func TestMinedRulesIntegration(t *testing.T) {
+	b, _ := paperExample(t)
+	mined, err := rules.Mine(b, rules.Options{MinSupport: 0.25, MinConfidence: 0.5, MinRuleSize: 3, MaxItemsetSize: 4, TargetCols: []string{"CANCELLED"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("expected mined rules")
+	}
+	e := NewEvaluator(b, mined, 0.5)
+	if e.Upcov() == 0 {
+		t.Fatal("upcov should be positive")
+	}
+	st := SubTable{Rows: []int{0, 4, 6}, Cols: []int{0, 1, 2, 4}}
+	if got := e.Combined(st); got <= 0 || got > 1 {
+		t.Fatalf("combined = %v", got)
+	}
+}

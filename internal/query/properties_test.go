@@ -1,0 +1,133 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subtab/internal/table"
+)
+
+// randomTable builds a table with one numeric and one categorical column
+// from quick-generated data.
+func randomTable(nums []float64, cats []uint8) *table.Table {
+	n := len(nums)
+	if len(cats) < n {
+		n = len(cats)
+	}
+	nv := make([]float64, n)
+	cv := make([]string, n)
+	for i := 0; i < n; i++ {
+		nv[i] = nums[i]
+		cv[i] = string(rune('a' + cats[i]%5))
+	}
+	t := table.New("q")
+	_ = t.AddColumn(table.NewNumeric("n", nv))
+	_ = t.AddColumn(table.NewCategorical("c", cv))
+	return t
+}
+
+// Property: predicate conjunction is commutative.
+func TestPropConjunctionCommutative(t *testing.T) {
+	f := func(nums []float64, cats []uint8, threshold float64) bool {
+		tab := randomTable(nums, cats)
+		if tab.NumRows() == 0 {
+			return true
+		}
+		p1 := Predicate{Col: "n", Op: Geq, Num: threshold}
+		p2 := Predicate{Col: "c", Op: Eq, Str: "a"}
+		a := (&Query{Where: []Predicate{p1, p2}}).MatchingRows(tab)
+		b := (&Query{Where: []Predicate{p2, p1}}).MatchingRows(tab)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a predicate never grows the result (selection is
+// anti-monotone in the conjunction).
+func TestPropSelectionAntiMonotone(t *testing.T) {
+	f := func(nums []float64, cats []uint8, threshold float64) bool {
+		tab := randomTable(nums, cats)
+		p1 := Predicate{Col: "n", Op: Geq, Num: threshold}
+		p2 := Predicate{Col: "c", Op: Neq, Str: "b"}
+		loose := (&Query{Where: []Predicate{p1}}).MatchingRows(tab)
+		tight := (&Query{Where: []Predicate{p1, p2}}).MatchingRows(tab)
+		if len(tight) > len(loose) {
+			return false
+		}
+		// tight ⊆ loose
+		in := map[int]bool{}
+		for _, r := range loose {
+			in[r] = true
+		}
+		for _, r := range tight {
+			if !in[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: group-by COUNT sums to the number of selected rows.
+func TestPropGroupByCountTotal(t *testing.T) {
+	f := func(nums []float64, cats []uint8) bool {
+		tab := randomTable(nums, cats)
+		q := &Query{GroupBy: []string{"c"}, Aggs: []Aggregate{{Func: Count}}}
+		res, _, err := q.Apply(tab)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for r := 0; r < res.NumRows(); r++ {
+			total += res.Cell(r, "count").Num
+		}
+		return int(total) == tab.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ORDER BY emits a permutation of the input rows.
+func TestPropOrderByPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		nums := make([]float64, n)
+		cats := make([]uint8, n)
+		for i := range nums {
+			nums[i] = rng.NormFloat64()
+			cats[i] = uint8(rng.Intn(5))
+		}
+		tab := randomTable(nums, cats)
+		q := &Query{OrderBy: "n", Asc: trial%2 == 0}
+		_, rows, err := q.Apply(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, r := range rows {
+			if r < 0 || r >= n || seen[r] {
+				t.Fatalf("not a permutation: %v", rows)
+			}
+			seen[r] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("missing rows: %v", rows)
+		}
+	}
+}

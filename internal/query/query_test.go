@@ -1,0 +1,306 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"subtab/internal/table"
+)
+
+func sample(t *testing.T) *table.Table {
+	t.Helper()
+	tab := table.New("flights")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tab.AddColumn(table.NewNumeric("DISTANCE", []float64{100, 2000, math.NaN(), 550, 1800})))
+	must(tab.AddColumn(table.NewCategorical("AIRLINE", []string{"AA", "B6", "AA", "", "B6"})))
+	must(tab.AddColumn(table.NewNumeric("CANCELLED", []float64{0, 0, 1, 0, 1})))
+	return tab
+}
+
+func TestPredicateNumeric(t *testing.T) {
+	tab := sample(t)
+	cases := []struct {
+		p    Predicate
+		want []int
+	}{
+		{Predicate{Col: "DISTANCE", Op: Gt, Num: 1000}, []int{1, 4}},
+		{Predicate{Col: "DISTANCE", Op: Geq, Num: 550}, []int{1, 3, 4}},
+		{Predicate{Col: "DISTANCE", Op: Lt, Num: 550}, []int{0}},
+		{Predicate{Col: "DISTANCE", Op: Leq, Num: 550}, []int{0, 3}},
+		{Predicate{Col: "DISTANCE", Op: Eq, Num: 100}, []int{0}},
+		{Predicate{Col: "DISTANCE", Op: Neq, Num: 100}, []int{1, 3, 4}},
+		{Predicate{Col: "DISTANCE", Op: IsMissing}, []int{2}},
+		{Predicate{Col: "DISTANCE", Op: NotMissing}, []int{0, 1, 3, 4}},
+	}
+	for _, c := range cases {
+		q := &Query{Where: []Predicate{c.p}}
+		got := q.MatchingRows(tab)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: rows = %v, want %v", c.p, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: rows = %v, want %v", c.p, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPredicateCategorical(t *testing.T) {
+	tab := sample(t)
+	q := &Query{Where: []Predicate{{Col: "AIRLINE", Op: Eq, Str: "AA"}}}
+	got := q.MatchingRows(tab)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("rows = %v", got)
+	}
+	q = &Query{Where: []Predicate{{Col: "AIRLINE", Op: Neq, Str: "AA"}}}
+	got = q.MatchingRows(tab)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("rows = %v", got)
+	}
+	// Lt on categorical matches nothing.
+	q = &Query{Where: []Predicate{{Col: "AIRLINE", Op: Lt, Str: "AA"}}}
+	if got := q.MatchingRows(tab); len(got) != 0 {
+		t.Fatalf("ordered op on categorical matched %v", got)
+	}
+}
+
+func TestPredicateUnknownColumn(t *testing.T) {
+	tab := sample(t)
+	q := &Query{Where: []Predicate{{Col: "nope", Op: Eq, Num: 1}}}
+	if got := q.MatchingRows(tab); len(got) != 0 {
+		t.Fatalf("unknown column matched %v", got)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	tab := sample(t)
+	q := &Query{Where: []Predicate{
+		{Col: "AIRLINE", Op: Eq, Str: "B6"},
+		{Col: "CANCELLED", Op: Eq, Num: 1},
+	}}
+	got := q.MatchingRows(tab)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestApplySelectProject(t *testing.T) {
+	tab := sample(t)
+	q := &Query{
+		Where:  []Predicate{{Col: "CANCELLED", Op: Eq, Num: 0}},
+		Select: []string{"AIRLINE", "DISTANCE"},
+	}
+	res, rows, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 || res.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d", res.NumRows(), res.NumCols())
+	}
+	if rows[0] != 0 || rows[1] != 1 || rows[2] != 3 {
+		t.Fatalf("source rows = %v", rows)
+	}
+	if res.ColumnNames()[0] != "AIRLINE" {
+		t.Fatalf("cols = %v", res.ColumnNames())
+	}
+}
+
+func TestApplyProjectUnknown(t *testing.T) {
+	tab := sample(t)
+	q := &Query{Select: []string{"nope"}}
+	if _, _, err := q.Apply(tab); err == nil {
+		t.Fatal("unknown projection column should error")
+	}
+}
+
+func TestApplyOrderBy(t *testing.T) {
+	tab := sample(t)
+	q := &Query{OrderBy: "DISTANCE", Asc: true}
+	res, rows, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Column("DISTANCE").Nums
+	if d[0] != 100 || d[1] != 550 || d[2] != 1800 || d[3] != 2000 {
+		t.Fatalf("sorted = %v", d)
+	}
+	if rows[0] != 0 || rows[1] != 3 || rows[2] != 4 || rows[3] != 1 {
+		t.Fatalf("source rows = %v", rows)
+	}
+	if !math.IsNaN(d[4]) {
+		t.Fatal("missing should sort last")
+	}
+}
+
+func TestApplyLimit(t *testing.T) {
+	tab := sample(t)
+	q := &Query{OrderBy: "DISTANCE", Asc: false, Limit: 2}
+	res, rows, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 || len(rows) != 2 {
+		t.Fatalf("limit dims = %d/%d", res.NumRows(), len(rows))
+	}
+	if res.Column("DISTANCE").Nums[0] != 2000 {
+		t.Fatalf("top = %v", res.Column("DISTANCE").Nums)
+	}
+}
+
+func TestGroupByCount(t *testing.T) {
+	tab := sample(t)
+	q := &Query{
+		GroupBy: []string{"AIRLINE"},
+		Aggs:    []Aggregate{{Func: Count}},
+	}
+	res, rows, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 { // AA, B6, missing
+		t.Fatalf("groups = %d: %s", res.NumRows(), res)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("representative rows = %v", rows)
+	}
+	// Find AA group.
+	found := false
+	for r := 0; r < res.NumRows(); r++ {
+		if res.Cell(r, "AIRLINE").Str == "AA" {
+			found = true
+			if got := res.Cell(r, "count").Num; got != 2 {
+				t.Fatalf("count(AA) = %v", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("AA group not found")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tab := sample(t)
+	q := &Query{
+		GroupBy: []string{"CANCELLED"},
+		Aggs: []Aggregate{
+			{Func: Mean, Col: "DISTANCE"},
+			{Func: Min, Col: "DISTANCE"},
+			{Func: Max, Col: "DISTANCE"},
+			{Func: Sum, Col: "DISTANCE"},
+		},
+	}
+	res, _, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < res.NumRows(); r++ {
+		if res.Cell(r, "CANCELLED").Num == 0 {
+			if got := res.Cell(r, "mean_DISTANCE").Num; math.Abs(got-883.333) > 0.01 {
+				t.Fatalf("mean = %v", got)
+			}
+			if got := res.Cell(r, "min_DISTANCE").Num; got != 100 {
+				t.Fatalf("min = %v", got)
+			}
+			if got := res.Cell(r, "max_DISTANCE").Num; got != 2000 {
+				t.Fatalf("max = %v", got)
+			}
+			if got := res.Cell(r, "sum_DISTANCE").Num; got != 2650 {
+				t.Fatalf("sum = %v", got)
+			}
+		}
+	}
+}
+
+func TestGroupByAllMissingAggregate(t *testing.T) {
+	tab := sample(t)
+	// CANCELLED=1 group has DISTANCE = {NaN, 1800}; restrict to only NaN row.
+	q := &Query{
+		Where:   []Predicate{{Col: "DISTANCE", Op: IsMissing}},
+		GroupBy: []string{"CANCELLED"},
+		Aggs:    []Aggregate{{Func: Mean, Col: "DISTANCE"}},
+	}
+	res, _, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Cell(0, "mean_DISTANCE").Num) && !res.Cell(0, "mean_DISTANCE").Missing {
+		t.Fatal("mean over all-missing group should be NaN")
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	tab := sample(t)
+	q := &Query{GroupBy: []string{"nope"}, Aggs: []Aggregate{{Func: Count}}}
+	if _, _, err := q.Apply(tab); err == nil {
+		t.Fatal("unknown group-by column should error")
+	}
+	q = &Query{GroupBy: []string{"AIRLINE"}, Aggs: []Aggregate{{Func: Mean, Col: "AIRLINE"}}}
+	if _, _, err := q.Apply(tab); err == nil {
+		t.Fatal("mean over categorical should error")
+	}
+	q = &Query{GroupBy: []string{"AIRLINE"}, Aggs: []Aggregate{{Func: Mean, Col: "nope"}}}
+	if _, _, err := q.Apply(tab); err == nil {
+		t.Fatal("unknown aggregate column should error")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := &Query{
+		Where:   []Predicate{{Col: "CANCELLED", Op: Eq, Num: 1}, {Col: "AIRLINE", Op: Eq, Str: "AA"}},
+		Select:  []string{"DISTANCE"},
+		OrderBy: "DISTANCE",
+		Limit:   5,
+	}
+	s := q.String()
+	for _, want := range []string{"SELECT DISTANCE", "WHERE", "CANCELLED = 1", `AIRLINE = "AA"`, "ORDER BY DISTANCE DESC", "LIMIT 5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("query string %q missing %q", s, want)
+		}
+	}
+	g := &Query{GroupBy: []string{"AIRLINE"}, Aggs: []Aggregate{{Func: Count}}}
+	if !strings.Contains(g.String(), "GROUP BY AIRLINE") {
+		t.Fatalf("group-by string = %q", g.String())
+	}
+	e := &Query{}
+	if !strings.Contains(e.String(), "SELECT *") {
+		t.Fatalf("empty query string = %q", e.String())
+	}
+}
+
+func TestOpAggStrings(t *testing.T) {
+	ops := map[Op]string{Eq: "=", Neq: "!=", Lt: "<", Leq: "<=", Gt: ">", Geq: ">=", IsMissing: "IS NULL", NotMissing: "IS NOT NULL"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+	aggs := map[AggFunc]string{Count: "count", Sum: "sum", Mean: "mean", Min: "min", Max: "max"}
+	for a, want := range aggs {
+		if a.String() != want {
+			t.Errorf("Agg %d = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestEmptyQueryIsIdentity(t *testing.T) {
+	tab := sample(t)
+	q := &Query{}
+	res, rows, err := q.Apply(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != tab.NumRows() || res.NumCols() != tab.NumCols() {
+		t.Fatal("empty query should be identity")
+	}
+	for i, r := range rows {
+		if r != i {
+			t.Fatalf("rows = %v", rows)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"subtab/internal/binning"
+	"subtab/internal/table"
+)
+
+// missingTable has a column whose missing values perfectly track another
+// column's value — the paper's cancelled-flights NaN structure.
+func missingTable(t *testing.T, n int) *binning.Binned {
+	t.Helper()
+	flag := make([]string, n)
+	val := make([]float64, n)
+	noise := make([]string, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			flag[i] = "on"
+			val[i] = math.NaN()
+		} else {
+			flag[i] = "off"
+			val[i] = float64(i % 7)
+		}
+		noise[i] = []string{"x", "y"}[i%2]
+	}
+	tab := table.New("t")
+	for _, c := range []*table.Column{
+		table.NewCategorical("flag", flag),
+		table.NewNumeric("val", val),
+		table.NewCategorical("noise", noise),
+	} {
+		if err := tab.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := binning.Bin(tab, binning.Options{MaxBins: 5, Strategy: binning.Quantile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMissingExcludedByDefault(t *testing.T) {
+	b := missingTable(t, 80)
+	rs, err := Mine(b, Options{MinSupport: 0.2, MinConfidence: 0.6, MinRuleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if strings.Contains(r.Label(b), binning.MissingLabel) {
+			t.Fatalf("default mining produced a missing-bin rule: %s", r.Label(b))
+		}
+	}
+}
+
+func TestIncludeMissingFindsNaNRule(t *testing.T) {
+	b := missingTable(t, 80)
+	rs, err := Mine(b, Options{MinSupport: 0.2, MinConfidence: 0.9, MinRuleSize: 2, IncludeMissing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		lbl := r.Label(b)
+		if strings.Contains(lbl, "flag=on") && strings.Contains(lbl, "val="+binning.MissingLabel) {
+			found = true
+			// The rule holds exactly on the flag=on rows.
+			if r.Tuples.Count() != 20 {
+				t.Fatalf("NaN rule tuples = %d, want 20", r.Tuples.Count())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("flag=on => val=missing rule not found among %d rules", len(rs))
+	}
+}
+
+func TestMaxItemShareDropsUbiquitousItems(t *testing.T) {
+	// A constant column: its single item appears in 100% of rows and should
+	// be excluded from mining by the default MaxItemShare = 0.9.
+	n := 60
+	constant := make([]string, n)
+	varied := make([]string, n)
+	other := make([]string, n)
+	for i := 0; i < n; i++ {
+		constant[i] = "always"
+		varied[i] = []string{"a", "b", "c"}[i%3]
+		other[i] = []string{"p", "q", "r"}[i%3] // correlated with varied
+	}
+	tab := table.New("t")
+	for _, c := range []*table.Column{
+		table.NewCategorical("constant", constant),
+		table.NewCategorical("varied", varied),
+		table.NewCategorical("other", other),
+	} {
+		if err := tab.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := binning.Bin(tab, binning.Options{MaxBins: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Mine(b, Options{MinSupport: 0.2, MinConfidence: 0.6, MinRuleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("the varied-other correlation should still be mined")
+	}
+	for _, r := range rs {
+		if strings.Contains(r.Label(b), "constant=") {
+			t.Fatalf("ubiquitous item leaked into rule: %s", r.Label(b))
+		}
+	}
+	// Raising the share bound re-admits the constant column.
+	rs2, err := Mine(b, Options{MinSupport: 0.2, MinConfidence: 0.6, MinRuleSize: 2, MaxItemShare: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundConst := false
+	for _, r := range rs2 {
+		if strings.Contains(r.Label(b), "constant=") {
+			foundConst = true
+		}
+	}
+	if !foundConst {
+		t.Fatal("MaxItemShare=1.0 should re-admit ubiquitous items")
+	}
+}

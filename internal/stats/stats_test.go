@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of singleton should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := MinMax([]float64{3, -1, 7, 2})
+	if mn != -1 || mx != 7 {
+		t.Fatalf("MinMax = %v, %v", mn, mx)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax of empty should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	cuts := Quantiles(xs, 4)
+	want := []float64{0, 25, 50, 75, 100}
+	for i := range want {
+		if math.Abs(cuts[i]-want[i]) > 1e-9 {
+			t.Fatalf("cuts = %v", cuts)
+		}
+	}
+}
+
+func TestSilvermanBandwidthPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	bw := SilvermanBandwidth(xs)
+	if bw <= 0 || bw > 1 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+	// Constant data still yields a positive bandwidth.
+	if bw := SilvermanBandwidth([]float64{5, 5, 5, 5}); bw <= 0 {
+		t.Fatalf("constant-data bandwidth = %v", bw)
+	}
+	if bw := SilvermanBandwidth([]float64{1}); bw != 1 {
+		t.Fatalf("tiny-sample bandwidth = %v", bw)
+	}
+}
+
+func TestKDEDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	k := NewKDE(xs, 0)
+	// Trapezoid integral over a wide range.
+	lo, hi, steps := -6.0, 6.0, 2000
+	h := (hi - lo) / float64(steps)
+	integral := 0.0
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		integral += w * k.Density(lo+float64(i)*h)
+	}
+	integral *= h
+	if math.Abs(integral-1) > 0.02 {
+		t.Fatalf("density integral = %v", integral)
+	}
+}
+
+func TestKDEEmptySample(t *testing.T) {
+	k := NewKDE(nil, 0)
+	if k.Density(0) != 0 {
+		t.Fatal("empty-sample density should be 0")
+	}
+	xs, ds := k.Grid(10)
+	if xs != nil || ds != nil {
+		t.Fatal("empty-sample grid should be nil")
+	}
+}
+
+func TestKDEBimodalValley(t *testing.T) {
+	// Two well-separated modes at 0 and 10: exactly one valley between them.
+	rng := rand.New(rand.NewSource(3))
+	var xs []float64
+	for i := 0; i < 300; i++ {
+		xs = append(xs, rng.NormFloat64()*0.5)
+		xs = append(xs, 10+rng.NormFloat64()*0.5)
+	}
+	k := NewKDE(xs, 0)
+	valleys := k.DensityValleys(512)
+	if len(valleys) == 0 {
+		t.Fatal("expected at least one valley")
+	}
+	// At least one valley should sit between the modes.
+	found := false
+	for _, v := range valleys {
+		if v > 2 && v < 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no valley between modes: %v", valleys)
+	}
+}
+
+func TestKDEUnimodalNoInteriorValley(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	k := NewKDE(xs, 0)
+	valleys := k.DensityValleys(256)
+	// A clean unimodal sample should produce few or no interior valleys near
+	// the mode; allow edge artifacts but not a valley near 0.
+	for _, v := range valleys {
+		if v > -0.5 && v < 0.5 {
+			t.Fatalf("unexpected valley at %v", v)
+		}
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by min/max.
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		return v1 <= v2 && v1 >= xs[0] && v2 <= xs[len(xs)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KDE density is non-negative everywhere.
+func TestPropKDENonNegative(t *testing.T) {
+	f := func(raw []float64, at float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if math.IsNaN(at) || math.IsInf(at, 0) {
+			at = 0
+		}
+		k := NewKDE(xs, 0)
+		return k.Density(at) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

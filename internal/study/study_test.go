@@ -1,0 +1,184 @@
+package study
+
+import (
+	"math/rand"
+	"testing"
+
+	"subtab/internal/binning"
+	"subtab/internal/datagen"
+)
+
+func fixture(t *testing.T) (*datagen.Dataset, *binning.Binned) {
+	t.Helper()
+	ds := datagen.Flights(3000, 1)
+	b, err := binning.Bin(ds.T, binning.Options{MaxBins: 5, Strategy: binning.Quantile, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+// goodView builds a sub-table that deliberately exposes the planted rules:
+// all pattern columns plus exemplar rows for each pattern.
+func goodView(ds *datagen.Dataset) SubTableView {
+	colSet := map[int]bool{}
+	var rows []int
+	seen := map[int]bool{}
+	for _, pr := range ds.Planted {
+		for _, c := range pr.Cols {
+			colSet[ds.T.ColumnIndex(c)] = true
+		}
+		found := 0
+		for r := 0; r < ds.T.NumRows() && found < 2; r++ {
+			if pr.Holds(ds.T, r) && !seen[r] {
+				rows = append(rows, r)
+				seen[r] = true
+				found++
+			}
+		}
+	}
+	var cols []int
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	return SubTableView{Rows: rows, Cols: cols}
+}
+
+// badView builds a deliberately misleading sub-table: rows sharing one rare
+// pattern so columns look constant.
+func badView(ds *datagen.Dataset, b *binning.Binned) SubTableView {
+	// All rows from the same cancelled cluster: DEP_TIME constant-missing,
+	// CANCELLED constant 1 (rare in full table).
+	var rows []int
+	for r := 0; r < ds.T.NumRows() && len(rows) < 6; r++ {
+		if ds.T.Column("CANCELLED").Nums[r] == 1 {
+			rows = append(rows, r)
+		}
+	}
+	cols := []int{
+		ds.T.ColumnIndex("CANCELLED"),
+		ds.T.ColumnIndex("DEPARTURE_TIME"),
+		ds.T.ColumnIndex("MONTH"),
+		ds.T.ColumnIndex("AIRLINE"),
+	}
+	return SubTableView{Rows: rows, Cols: cols}
+}
+
+func TestSimulateGoodViewFindsInsights(t *testing.T) {
+	ds, b := fixture(t)
+	res := Simulate(ds, b, []SubTableView{goodView(ds)}, Options{Analysts: 20, Highlight: true, Seed: 2})
+	if res.VisiblePatterns < len(ds.Planted)-1 {
+		t.Fatalf("visible = %d of %d", res.VisiblePatterns, res.TotalPatterns)
+	}
+	if res.AvgCorrect() < 2 {
+		t.Fatalf("avg correct = %v, want >= 2 on a revealing view", res.AvgCorrect())
+	}
+	if res.PctNoInsights() > 10 {
+		t.Fatalf("pct no insights = %v", res.PctNoInsights())
+	}
+}
+
+func TestSimulateBadViewMisleads(t *testing.T) {
+	ds, b := fixture(t)
+	good := Simulate(ds, b, []SubTableView{goodView(ds)}, Options{Analysts: 20, Highlight: true, Seed: 3})
+	bad := Simulate(ds, b, []SubTableView{badView(ds, b)}, Options{Analysts: 20, Highlight: true, Seed: 3})
+	if bad.AvgCorrect() >= good.AvgCorrect() {
+		t.Fatalf("bad view correct (%v) should trail good view (%v)", bad.AvgCorrect(), good.AvgCorrect())
+	}
+	if bad.Artifacts == 0 {
+		t.Fatal("bad view should contain misleading artifacts")
+	}
+	if bad.PctCorrect() >= good.PctCorrect() {
+		t.Fatalf("bad view precision (%v) should trail good view (%v)", bad.PctCorrect(), good.PctCorrect())
+	}
+}
+
+func TestHighlightHelps(t *testing.T) {
+	ds, b := fixture(t)
+	views := []SubTableView{goodView(ds)}
+	withHL := Simulate(ds, b, views, Options{Analysts: 200, Highlight: true, Seed: 4})
+	without := Simulate(ds, b, views, Options{Analysts: 200, Highlight: false, Seed: 4})
+	if withHL.AvgCorrect() <= without.AvgCorrect() {
+		t.Fatalf("highlighting should help: %v <= %v", withHL.AvgCorrect(), without.AvgCorrect())
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	ds, b := fixture(t)
+	views := []SubTableView{goodView(ds)}
+	a := Simulate(ds, b, views, Options{Analysts: 10, Seed: 5})
+	c := Simulate(ds, b, views, Options{Analysts: 10, Seed: 5})
+	for i := range a.PerAnalyst {
+		if a.PerAnalyst[i] != c.PerAnalyst[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestEmptyViews(t *testing.T) {
+	ds, b := fixture(t)
+	res := Simulate(ds, b, nil, Options{Analysts: 5, Seed: 6})
+	if res.VisiblePatterns != 0 {
+		t.Fatalf("visible = %d", res.VisiblePatterns)
+	}
+	if res.AvgCorrect() > 0.5 {
+		t.Fatalf("avg correct with no views = %v", res.AvgCorrect())
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	r := &Result{PerAnalyst: []AnalystResult{{Correct: 2, Incorrect: 1}, {Correct: 0, Incorrect: 2}}}
+	if got := r.AvgCorrect(); got != 1 {
+		t.Fatalf("AvgCorrect = %v", got)
+	}
+	if got := r.AvgTotal(); got != 2.5 {
+		t.Fatalf("AvgTotal = %v", got)
+	}
+	if got := r.PctNoInsights(); got != 50 {
+		t.Fatalf("PctNoInsights = %v", got)
+	}
+	if got := r.PctCorrect(); got != 40 {
+		t.Fatalf("PctCorrect = %v", got)
+	}
+	empty := &Result{}
+	if empty.AvgCorrect() != 0 || empty.AvgTotal() != 0 || empty.PctNoInsights() != 0 || empty.PctCorrect() != 0 {
+		t.Fatal("empty result aggregates should be 0")
+	}
+}
+
+func TestCountArtifactsCleanView(t *testing.T) {
+	ds, b := fixture(t)
+	// A genuinely representative mini-view: diverse rows.
+	view := SubTableView{Rows: []int{0, 1, 2, 3, 4, 5, 6, 7}, Cols: []int{0, 1, 2}}
+	good := countArtifacts(b, view)
+	bad := countArtifacts(b, badView(ds, b))
+	if good > bad {
+		t.Fatalf("diverse view artifacts (%d) exceed misleading view (%d)", good, bad)
+	}
+}
+
+func TestCountArtifactsTinyView(t *testing.T) {
+	_, b := fixture(t)
+	if got := countArtifacts(b, SubTableView{Rows: []int{0}, Cols: []int{0}}); got != 0 {
+		t.Fatalf("single-row artifacts = %d", got)
+	}
+}
+
+func TestRatingsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	good := &Result{VisiblePatterns: 5, TotalPatterns: 5, Artifacts: 0}
+	bad := &Result{VisiblePatterns: 0, TotalPatterns: 5, Artifacts: 8}
+	rGood := Ratings(good, 0.7, rng)
+	rBad := Ratings(bad, 0.2, rng)
+	for q := 0; q < 4; q++ {
+		if rGood[q] < 1 || rGood[q] > 5 || rBad[q] < 1 || rBad[q] > 5 {
+			t.Fatalf("ratings out of scale: %v %v", rGood, rBad)
+		}
+		if rGood[q] <= rBad[q] {
+			t.Fatalf("Q%d: good %v should beat bad %v", q+1, rGood[q], rBad[q])
+		}
+	}
+	if rGood[0] < 4 {
+		t.Fatalf("good-experience Q1 = %v, want > 4 (paper: SubTab above 4)", rGood[0])
+	}
+}

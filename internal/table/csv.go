@@ -1,0 +1,150 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// missingTokens are CSV cell spellings treated as missing values.
+var missingTokens = map[string]bool{
+	"": true, "NA": true, "N/A": true, "NaN": true, "nan": true,
+	"null": true, "NULL": true, "None": true,
+}
+
+// ReadCSV parses a CSV stream with a header row into a table, inferring a
+// Kind per column: a column is Numeric if every non-missing cell parses as a
+// float, otherwise Categorical. The name is attached to the table.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+	}
+	raw := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, cell := range rec {
+			raw[i] = append(raw[i], strings.TrimSpace(cell))
+		}
+	}
+	t := New(name)
+	for i, colName := range header {
+		if err := t.AddColumn(inferColumn(colName, raw[i])); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads a CSV file; the table name is the file path's base name
+// without extension.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return ReadCSV(name, f)
+}
+
+// inferColumn decides Numeric vs Categorical and builds the column.
+func inferColumn(name string, cells []string) *Column {
+	numeric := true
+	nonMissing := 0
+	for _, c := range cells {
+		if missingTokens[c] {
+			continue
+		}
+		nonMissing++
+		if _, err := strconv.ParseFloat(c, 64); err != nil {
+			numeric = false
+			break
+		}
+	}
+	if nonMissing == 0 {
+		numeric = false // all-missing: keep as categorical of nothing
+	}
+	if numeric {
+		vals := make([]float64, len(cells))
+		for i, c := range cells {
+			if missingTokens[c] {
+				vals[i] = math.NaN()
+				continue
+			}
+			v, _ := strconv.ParseFloat(c, 64)
+			vals[i] = v
+		}
+		return NewNumeric(name, vals)
+	}
+	vals := make([]string, len(cells))
+	for i, c := range cells {
+		if missingTokens[c] {
+			vals[i] = ""
+			continue
+		}
+		vals[i] = c
+	}
+	return NewCategorical(name, vals)
+}
+
+// WriteCSV writes the table as CSV with a header row; missing cells are
+// written as empty fields.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for ci, c := range t.cols {
+			if c.Missing(r) {
+				rec[ci] = ""
+			} else {
+				rec[ci] = c.CellString(r)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the given path.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

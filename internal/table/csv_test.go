@@ -1,0 +1,139 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `DISTANCE,AIRLINE,CANCELLED
+100,AA,0
+2000,B6,0
+NaN,AA,1
+550,,0
+`
+
+func TestReadCSVTypes(t *testing.T) {
+	tab, err := ReadCSV("flights", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 || tab.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("DISTANCE").Kind != Numeric {
+		t.Fatal("DISTANCE should infer Numeric")
+	}
+	if tab.Column("AIRLINE").Kind != Categorical {
+		t.Fatal("AIRLINE should infer Categorical")
+	}
+	if !math.IsNaN(tab.Column("DISTANCE").Nums[2]) {
+		t.Fatal("NaN token should parse as missing")
+	}
+	if !tab.Column("AIRLINE").Missing(3) {
+		t.Fatal("empty categorical cell should be missing")
+	}
+}
+
+func TestReadCSVMissingSpellings(t *testing.T) {
+	csv := "a,b\nNA,x\nnull,y\nNone,z\nN/A,w\n1.5,v\n"
+	tab, err := ReadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("a").Kind != Numeric {
+		t.Fatal("a should be numeric despite missing spellings")
+	}
+	if got := tab.Column("a").MissingCount(); got != 4 {
+		t.Fatalf("missing = %d, want 4", got)
+	}
+}
+
+func TestReadCSVAllMissingColumn(t *testing.T) {
+	csv := "a\nNA\nNA\n"
+	tab, err := ReadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tab.Column("a")
+	if c.Kind != Categorical {
+		t.Fatal("all-missing column defaults to categorical")
+	}
+	if c.MissingCount() != 2 {
+		t.Fatalf("missing = %d", c.MissingCount())
+	}
+}
+
+func TestReadCSVRaggedRow(t *testing.T) {
+	csv := "a,b\n1,2\n3\n"
+	if _, err := ReadCSV("t", strings.NewReader(csv)); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Fatal("missing header should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV("flights", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("flights", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatalf("round-trip dims %dx%d", back.NumRows(), back.NumCols())
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		for ci := 0; ci < tab.NumCols(); ci++ {
+			a, b := tab.CellAt(r, ci), back.CellAt(r, ci)
+			if a.Missing != b.Missing || a.String() != b.String() {
+				t.Fatalf("cell (%d,%d): %v vs %v", r, ci, a, b)
+			}
+		}
+	}
+}
+
+func TestReadWriteCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "mini" {
+		t.Fatalf("table name = %q, want mini", tab.Name)
+	}
+	out := filepath.Join(dir, "out.csv")
+	if err := tab.WriteCSVFile(out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Fatal("file round-trip row mismatch")
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile("/nonexistent/x.csv"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

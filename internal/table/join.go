@@ -1,0 +1,86 @@
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// JoinResult is an equi-join output with provenance: for every output row,
+// the source row in each input table.
+type JoinResult struct {
+	T         *Table
+	LeftRows  []int
+	RightRows []int
+}
+
+// EquiJoin computes the inner equi-join of left and right on the given
+// columns (hash join; the right side is built into the hash table). Columns
+// of the right table whose names collide with left-table columns are
+// prefixed with rightPrefix. Missing join keys never match. This is the
+// multi-table substrate for the paper's §7 future-work direction of
+// sub-tables over joins: join first, then Preprocess the result.
+func EquiJoin(left, right *Table, leftCol, rightCol, rightPrefix string) (*JoinResult, error) {
+	lc := left.Column(leftCol)
+	if lc == nil {
+		return nil, fmt.Errorf("table: join: unknown left column %q", leftCol)
+	}
+	rc := right.Column(rightCol)
+	if rc == nil {
+		return nil, fmt.Errorf("table: join: unknown right column %q", rightCol)
+	}
+	if lc.Kind != rc.Kind {
+		return nil, fmt.Errorf("table: join: column kinds differ (%s vs %s)", lc.Kind, rc.Kind)
+	}
+
+	// Build: key -> right row indices.
+	build := make(map[string][]int)
+	for r := 0; r < right.NumRows(); r++ {
+		if rc.Missing(r) {
+			continue
+		}
+		build[joinKey(rc, r)] = append(build[joinKey(rc, r)], r)
+	}
+	// Probe.
+	var leftRows, rightRows []int
+	for r := 0; r < left.NumRows(); r++ {
+		if lc.Missing(r) {
+			continue
+		}
+		for _, rr := range build[joinKey(lc, r)] {
+			leftRows = append(leftRows, r)
+			rightRows = append(rightRows, rr)
+		}
+	}
+
+	out := New(left.Name + "_join_" + right.Name)
+	lt := left.SelectRows(leftRows)
+	for _, c := range lt.Columns() {
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	rt := right.SelectRows(rightRows)
+	for _, c := range rt.Columns() {
+		name := c.Name
+		if out.Column(name) != nil {
+			name = rightPrefix + name
+		}
+		cc := *c
+		cc.Name = name
+		if err := out.AddColumn(&cc); err != nil {
+			return nil, err
+		}
+	}
+	return &JoinResult{T: out, LeftRows: leftRows, RightRows: rightRows}, nil
+}
+
+func joinKey(c *Column, r int) string {
+	if c.Kind == Numeric {
+		v := c.Nums[r]
+		if v == math.Trunc(v) {
+			return fmt.Sprintf("n%d", int64(v))
+		}
+		return fmt.Sprintf("f%g", v)
+	}
+	return "s" + c.Dict.String(c.Cats[r])
+}

@@ -1,0 +1,113 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func joinFixture(t *testing.T) (*Table, *Table) {
+	t.Helper()
+	flights := New("flights")
+	if err := flights.AddColumn(NewCategorical("AIRLINE", []string{"AA", "B6", "AA", "ZZ", ""})); err != nil {
+		t.Fatal(err)
+	}
+	if err := flights.AddColumn(NewNumeric("DISTANCE", []float64{100, 200, 300, 400, 500})); err != nil {
+		t.Fatal(err)
+	}
+	carriers := New("carriers")
+	if err := carriers.AddColumn(NewCategorical("AIRLINE", []string{"AA", "B6", "DL"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := carriers.AddColumn(NewCategorical("NAME", []string{"American", "JetBlue", "Delta"})); err != nil {
+		t.Fatal(err)
+	}
+	return flights, carriers
+}
+
+func TestEquiJoinBasic(t *testing.T) {
+	flights, carriers := joinFixture(t)
+	res, err := EquiJoin(flights, carriers, "AIRLINE", "AIRLINE", "r_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AA matches rows 0 and 2, B6 matches row 1; ZZ and missing do not.
+	if res.T.NumRows() != 3 {
+		t.Fatalf("joined rows = %d, want 3", res.T.NumRows())
+	}
+	// Collision on AIRLINE gets prefixed.
+	if res.T.Column("r_AIRLINE") == nil {
+		t.Fatalf("prefixed column missing: %v", res.T.ColumnNames())
+	}
+	if res.T.Column("NAME") == nil {
+		t.Fatal("right-only column missing")
+	}
+	// Provenance is consistent.
+	for i := range res.LeftRows {
+		la := flights.Cell(res.LeftRows[i], "AIRLINE").Str
+		ra := carriers.Cell(res.RightRows[i], "AIRLINE").Str
+		if la != ra {
+			t.Fatalf("row %d: join key mismatch %q vs %q", i, la, ra)
+		}
+		if got := res.T.Cell(i, "AIRLINE").Str; got != la {
+			t.Fatalf("row %d: output key %q, want %q", i, got, la)
+		}
+	}
+	// Values carried over correctly.
+	for i := 0; i < res.T.NumRows(); i++ {
+		if res.T.Cell(i, "AIRLINE").Str == "B6" && res.T.Cell(i, "NAME").Str != "JetBlue" {
+			t.Fatalf("B6 joined to %q", res.T.Cell(i, "NAME").Str)
+		}
+	}
+}
+
+func TestEquiJoinNumericKey(t *testing.T) {
+	a := New("a")
+	if err := a.AddColumn(NewNumeric("id", []float64{1, 2, 3, math.NaN()})); err != nil {
+		t.Fatal(err)
+	}
+	b := New("b")
+	if err := b.AddColumn(NewNumeric("id", []float64{2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddColumn(NewNumeric("v", []float64{20, 30, 40})); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EquiJoin(a, b, "id", "id", "r_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (NaN keys never match)", res.T.NumRows())
+	}
+}
+
+func TestEquiJoinManyToMany(t *testing.T) {
+	a := New("a")
+	if err := a.AddColumn(NewCategorical("k", []string{"x", "x"})); err != nil {
+		t.Fatal(err)
+	}
+	b := New("b")
+	if err := b.AddColumn(NewCategorical("k", []string{"x", "x", "x"})); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EquiJoin(a, b, "k", "k", "r_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T.NumRows() != 6 {
+		t.Fatalf("rows = %d, want 6 (2x3 cross per key)", res.T.NumRows())
+	}
+}
+
+func TestEquiJoinErrors(t *testing.T) {
+	flights, carriers := joinFixture(t)
+	if _, err := EquiJoin(flights, carriers, "nope", "AIRLINE", "r_"); err == nil {
+		t.Fatal("unknown left column should error")
+	}
+	if _, err := EquiJoin(flights, carriers, "AIRLINE", "nope", "r_"); err == nil {
+		t.Fatal("unknown right column should error")
+	}
+	if _, err := EquiJoin(flights, carriers, "DISTANCE", "AIRLINE", "r_"); err == nil {
+		t.Fatal("kind mismatch should error")
+	}
+}

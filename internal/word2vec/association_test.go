@@ -1,0 +1,78 @@
+package word2vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil) = %v", got)
+	}
+}
+
+func TestContextVector(t *testing.T) {
+	sents := [][]int32{{1, 2}, {2, 3}, {1, 3}}
+	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 1, Workers: 1})
+	for _, tok := range []int32{1, 2, 3} {
+		cv := m.ContextVector(tok)
+		if len(cv) != 8 {
+			t.Fatalf("context vector len = %d", len(cv))
+		}
+	}
+	if m.ContextVector(99) != nil {
+		t.Fatal("unseen token should have nil context vector")
+	}
+}
+
+func TestAssociationUnseen(t *testing.T) {
+	m := Train([][]int32{{1, 2}}, Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1})
+	if got := m.Association(1, 99); got != 0 {
+		t.Fatalf("association with unseen = %v", got)
+	}
+	if got := m.Association(99, 1); got != 0 {
+		t.Fatalf("association with unseen = %v", got)
+	}
+}
+
+func TestAssociationSymmetric(t *testing.T) {
+	sents := planted(500, 5)
+	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 5, Workers: 1})
+	if a, b := m.Association(0, 1), m.Association(1, 0); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("association not symmetric: %v vs %v", a, b)
+	}
+}
+
+// TestAssociationSeparatesCooccurrence is the core property behind
+// pattern-group column selection: tokens that genuinely co-occur must score
+// a higher input·output association than tokens that never do.
+func TestAssociationSeparatesCooccurrence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var sents [][]int32
+	// Tokens 0 and 1 always co-occur (plus one noise partner from 10..59);
+	// tokens 0 and 2 never co-occur.
+	for i := 0; i < 6000; i++ {
+		noise := func() int32 { return int32(10 + rng.Intn(50)) }
+		if i%2 == 0 {
+			sents = append(sents, []int32{0, 1, noise()})
+		} else {
+			sents = append(sents, []int32{2, noise(), noise()})
+		}
+	}
+	m := Train(sents, Options{Dim: 16, Epochs: 6, Window: 3, Seed: 17, Workers: 1})
+	together := m.Association(0, 1)
+	apart := m.Association(0, 2)
+	if together <= apart {
+		t.Fatalf("co-occurring association %v should exceed never-co-occurring %v", together, apart)
+	}
+	// The margin should be material, not a rounding artifact.
+	if together-apart < 0.5 {
+		t.Fatalf("association margin too small: %v vs %v", together, apart)
+	}
+}

@@ -1,0 +1,346 @@
+// Package word2vec implements skip-gram word embedding with negative
+// sampling (Mikolov et al., the paper's reference [21]) over integer tokens.
+// It is the embedding engine behind SubTab's pre-processing phase, replacing
+// gensim in the paper's Python implementation.
+//
+// Tokens are the global (column, bin) item ids produced by package binning.
+// Algorithm 2 sets windowSize = max{n, m}, i.e. every token of a sentence is
+// context for every other; enumerating all O(L²) pairs is infeasible for
+// column-sentences, so for each center token we sample up to Window context
+// positions uniformly from the rest of the sentence — the expected gradient
+// matches the full-window objective at a fraction of the cost.
+package word2vec
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures training.
+type Options struct {
+	// Dim is the embedding dimensionality (default 32).
+	Dim int
+	// Window is the number of context tokens sampled per center token
+	// (default 5). The effective window is the whole sentence, as in
+	// Algorithm 2; Window only bounds the per-center sample.
+	Window int
+	// Negatives is the number of negative samples per positive pair
+	// (default 4).
+	Negatives int
+	// Epochs is the number of passes over the corpus (default 3).
+	Epochs int
+	// LearningRate is the initial SGD step size (default 0.025), decaying
+	// linearly to LearningRate/100 over training.
+	LearningRate float64
+	// Seed drives initialization and sampling.
+	Seed int64
+	// Workers is the number of parallel training goroutines (default
+	// runtime.NumCPU()). Training with Workers > 1 is lock-free (hogwild)
+	// and therefore not bit-reproducible; use Workers = 1 for determinism.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dim <= 0 {
+		o.Dim = 32
+	}
+	if o.Window <= 0 {
+		o.Window = 5
+	}
+	if o.Negatives <= 0 {
+		o.Negatives = 4
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 3
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.025
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Model holds trained token vectors.
+type Model struct {
+	dim    int
+	vocab  map[int32]int32 // token -> dense index
+	tokens []int32         // dense index -> token
+	vecs   []float32       // input vectors, len = |vocab| * dim
+	ctx    []float32       // output (context) vectors, len = |vocab| * dim
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// VocabSize returns the number of distinct tokens.
+func (m *Model) VocabSize() int { return len(m.tokens) }
+
+// HasToken reports whether the token was seen in training.
+func (m *Model) HasToken(tok int32) bool {
+	_, ok := m.vocab[tok]
+	return ok
+}
+
+// Vector returns the input embedding of tok, or nil when unseen. The
+// returned slice aliases model memory and must not be mutated.
+func (m *Model) Vector(tok int32) []float32 {
+	i, ok := m.vocab[tok]
+	if !ok {
+		return nil
+	}
+	return m.vecs[int(i)*m.dim : (int(i)+1)*m.dim]
+}
+
+// ContextVector returns the output (context) embedding of tok, or nil when
+// unseen. Skip-gram with negative sampling factorizes the corpus PMI matrix
+// into input·output products (Levy & Goldberg 2014), so
+// Vector(a)·ContextVector(b) measures how strongly a and b co-occur — the
+// first-order association signal, as opposed to the input-input cosine
+// which measures second-order (distributional) similarity.
+func (m *Model) ContextVector(tok int32) []float32 {
+	i, ok := m.vocab[tok]
+	if !ok {
+		return nil
+	}
+	return m.ctx[int(i)*m.dim : (int(i)+1)*m.dim]
+}
+
+// Association returns the symmetrized input·output dot product of two
+// tokens — an estimate of their shifted PMI (0 for unseen tokens).
+func (m *Model) Association(a, b int32) float64 {
+	va, cb := m.Vector(a), m.ContextVector(b)
+	vb, ca := m.Vector(b), m.ContextVector(a)
+	if va == nil || vb == nil {
+		return 0
+	}
+	return (Dot(va, cb) + Dot(vb, ca)) / 2
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Similarity returns the cosine similarity of two tokens (0 when either is
+// unseen or has a zero vector).
+func (m *Model) Similarity(a, b int32) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	if va == nil || vb == nil {
+		return 0
+	}
+	return Cosine(va, vb)
+}
+
+// Cosine returns the cosine similarity of two vectors (0 for zero vectors).
+func Cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+const (
+	sigTableSize = 1024
+	sigMax       = 6.0
+	unigramSize  = 1 << 20
+)
+
+// sigTable is a precomputed logistic table over [-sigMax, sigMax].
+var sigTable = func() [sigTableSize]float32 {
+	var t [sigTableSize]float32
+	for i := range t {
+		x := (float64(i)/sigTableSize*2 - 1) * sigMax
+		t[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+	return t
+}()
+
+func sigmoid(x float32) float32 {
+	if x >= sigMax {
+		return 1
+	}
+	if x <= -sigMax {
+		return 0
+	}
+	i := int((x + sigMax) / (2 * sigMax) * sigTableSize)
+	if i >= sigTableSize {
+		i = sigTableSize - 1
+	}
+	return sigTable[i]
+}
+
+// Train learns token embeddings from the corpus. Sentences are slices of
+// token ids; empty sentences are skipped.
+func Train(sentences [][]int32, opt Options) *Model {
+	opt = opt.withDefaults()
+	m := &Model{dim: opt.Dim, vocab: make(map[int32]int32)}
+
+	// Vocabulary and counts.
+	var counts []int64
+	totalTokens := 0
+	for _, s := range sentences {
+		totalTokens += len(s)
+		for _, tok := range s {
+			if _, ok := m.vocab[tok]; !ok {
+				m.vocab[tok] = int32(len(m.tokens))
+				m.tokens = append(m.tokens, tok)
+				counts = append(counts, 0)
+			}
+			counts[m.vocab[tok]]++
+		}
+	}
+	v := len(m.tokens)
+	if v == 0 {
+		return m
+	}
+
+	// Init: input vectors uniform in [-0.5/dim, 0.5/dim), output vectors 0.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	m.vecs = make([]float32, v*opt.Dim)
+	out := make([]float32, v*opt.Dim)
+	m.ctx = out
+	for i := range m.vecs {
+		m.vecs[i] = (rng.Float32() - 0.5) / float32(opt.Dim)
+	}
+
+	// Unigram table for negative sampling, powered by counts^0.75.
+	unigram := buildUnigram(counts)
+
+	// Approximate total number of center positions for LR decay.
+	totalCenters := int64(totalTokens) * int64(opt.Epochs)
+	if totalCenters == 0 {
+		totalCenters = 1
+	}
+	var processed atomic.Int64
+
+	workers := opt.Workers
+	if workers > len(sentences) && len(sentences) > 0 {
+		workers = len(sentences)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	minLR := opt.LearningRate / 100
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(opt.Seed ^ int64(epoch*8191+w*131071+1)))
+				grad := make([]float32, opt.Dim)
+				for si := w; si < len(sentences); si += workers {
+					sent := sentences[si]
+					if len(sent) < 2 {
+						processed.Add(int64(len(sent)))
+						continue
+					}
+					for ci, center := range sent {
+						done := processed.Add(1)
+						lr := opt.LearningRate * (1 - float64(done)/float64(totalCenters))
+						if lr < minLR {
+							lr = minLR
+						}
+						cIdx := m.vocab[center]
+						nCtx := opt.Window
+						if nCtx > len(sent)-1 {
+							nCtx = len(sent) - 1
+						}
+						for k := 0; k < nCtx; k++ {
+							// Sample a context position != ci uniformly.
+							cj := wrng.Intn(len(sent) - 1)
+							if cj >= ci {
+								cj++
+							}
+							ctxIdx := m.vocab[sent[cj]]
+							trainPair(m.vecs, out, int(cIdx), int(ctxIdx), opt, unigram, wrng, grad, float32(lr))
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	return m
+}
+
+// trainPair applies one positive update (center, ctx) plus Negatives
+// negative updates, writing gradients into the shared matrices (hogwild).
+func trainPair(in, out []float32, center, ctx int, opt Options, unigram []int32, rng *rand.Rand, grad []float32, lr float32) {
+	dim := opt.Dim
+	ci := center * dim
+	cv := in[ci : ci+dim]
+	for i := range grad {
+		grad[i] = 0
+	}
+	for n := 0; n <= opt.Negatives; n++ {
+		var target int
+		var label float32
+		if n == 0 {
+			target = ctx
+			label = 1
+		} else {
+			target = int(unigram[rng.Intn(len(unigram))])
+			if target == ctx {
+				continue
+			}
+			label = 0
+		}
+		ti := target * dim
+		tv := out[ti : ti+dim]
+		var dot float32
+		for i := 0; i < dim; i++ {
+			dot += cv[i] * tv[i]
+		}
+		g := (label - sigmoid(dot)) * lr
+		for i := 0; i < dim; i++ {
+			grad[i] += g * tv[i]
+			tv[i] += g * cv[i]
+		}
+	}
+	for i := 0; i < dim; i++ {
+		cv[i] += grad[i]
+	}
+}
+
+// buildUnigram builds the negative-sampling table: token indices appear
+// proportionally to count^0.75.
+func buildUnigram(counts []int64) []int32 {
+	total := 0.0
+	pows := make([]float64, len(counts))
+	for i, c := range counts {
+		pows[i] = math.Pow(float64(c), 0.75)
+		total += pows[i]
+	}
+	size := unigramSize
+	if size < len(counts) {
+		size = len(counts)
+	}
+	table := make([]int32, 0, size)
+	for i, p := range pows {
+		n := int(p / total * float64(size))
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			table = append(table, int32(i))
+		}
+	}
+	return table
+}

@@ -1,0 +1,204 @@
+package word2vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyCorpus(t *testing.T) {
+	m := Train(nil, Options{Seed: 1, Workers: 1})
+	if m.VocabSize() != 0 {
+		t.Fatalf("vocab = %d", m.VocabSize())
+	}
+	if m.Vector(5) != nil {
+		t.Fatal("unseen token should have nil vector")
+	}
+	if m.Similarity(1, 2) != 0 {
+		t.Fatal("similarity of unseen tokens should be 0")
+	}
+}
+
+func TestVocabAndVectors(t *testing.T) {
+	sents := [][]int32{{1, 2, 3}, {2, 3, 4}}
+	m := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 1, Workers: 1})
+	if m.VocabSize() != 4 {
+		t.Fatalf("vocab = %d, want 4", m.VocabSize())
+	}
+	if m.Dim() != 8 {
+		t.Fatalf("dim = %d", m.Dim())
+	}
+	for _, tok := range []int32{1, 2, 3, 4} {
+		if !m.HasToken(tok) {
+			t.Fatalf("token %d missing", tok)
+		}
+		v := m.Vector(tok)
+		if len(v) != 8 {
+			t.Fatalf("vector len = %d", len(v))
+		}
+	}
+	if m.HasToken(99) {
+		t.Fatal("token 99 should be unseen")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{1, 0}
+	c := []float32{0, 1}
+	d := []float32{-1, 0}
+	z := []float32{0, 0}
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("cos(a,a) = %v", got)
+	}
+	if got := Cosine(a, c); math.Abs(got) > 1e-6 {
+		t.Fatalf("cos(a,c) = %v", got)
+	}
+	if got := Cosine(a, d); math.Abs(got+1) > 1e-6 {
+		t.Fatalf("cos(a,-a) = %v", got)
+	}
+	if got := Cosine(a, z); got != 0 {
+		t.Fatalf("cos with zero vector = %v", got)
+	}
+}
+
+func TestSigmoidTable(t *testing.T) {
+	cases := []struct {
+		x    float32
+		want float64
+		tol  float64
+	}{
+		{0, 0.5, 0.01},
+		{10, 1, 1e-9},
+		{-10, 0, 1e-9},
+		{2, 1 / (1 + math.Exp(-2)), 0.01},
+		{-2, 1 / (1 + math.Exp(2)), 0.01},
+	}
+	for _, c := range cases {
+		if got := float64(sigmoid(c.x)); math.Abs(got-c.want) > c.tol {
+			t.Errorf("sigmoid(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBuildUnigramProportions(t *testing.T) {
+	counts := []int64{1000, 10, 10}
+	table := buildUnigram(counts)
+	freq := make([]int, 3)
+	for _, i := range table {
+		freq[i]++
+	}
+	if freq[0] <= freq[1] {
+		t.Fatalf("frequent token should dominate: %v", freq)
+	}
+	// Every token appears at least once.
+	for i, f := range freq {
+		if f == 0 {
+			t.Fatalf("token %d absent from unigram table", i)
+		}
+	}
+}
+
+// planted builds a corpus with a distributional-similarity signal: tokens 0
+// and 1 each appear with contexts drawn from pool A (10..29), token 2 with
+// contexts from a disjoint pool B (30..49). Skip-gram should therefore place
+// 0 and 1 close together and 2 far away — exactly the property SubTab relies
+// on (items participating in the same data pattern share their context and
+// embed nearby).
+func planted(nSent int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	var sents [][]int32
+	for i := 0; i < nSent; i++ {
+		poolA := func() int32 { return int32(10 + rng.Intn(20)) }
+		poolB := func() int32 { return int32(30 + rng.Intn(20)) }
+		switch i % 3 {
+		case 0:
+			sents = append(sents, []int32{0, poolA(), poolA()})
+		case 1:
+			sents = append(sents, []int32{1, poolA(), poolA()})
+		default:
+			sents = append(sents, []int32{2, poolB(), poolB()})
+		}
+	}
+	return sents
+}
+
+func TestSharedContextDrivesSimilarity(t *testing.T) {
+	sents := planted(6000, 7)
+	m := Train(sents, Options{Dim: 16, Epochs: 8, Window: 3, Seed: 7, Workers: 1})
+	simPair := m.Similarity(0, 1)
+	simCross := m.Similarity(0, 2)
+	if simPair <= simCross {
+		t.Fatalf("shared-context pair sim %v should exceed cross-pool sim %v", simPair, simCross)
+	}
+	if simPair < 0.3 {
+		t.Fatalf("shared-context pair sim too low: %v", simPair)
+	}
+}
+
+func TestDeterministicWithOneWorker(t *testing.T) {
+	sents := planted(300, 3)
+	m1 := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 42, Workers: 1})
+	m2 := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 42, Workers: 1})
+	for _, tok := range []int32{0, 1, 2} {
+		v1, v2 := m1.Vector(tok), m2.Vector(tok)
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("token %d dim %d: %v != %v", tok, i, v1[i], v2[i])
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	sents := planted(300, 3)
+	m1 := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 1, Workers: 1})
+	m2 := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 2, Workers: 1})
+	same := true
+	v1, v2 := m1.Vector(0), m2.Vector(0)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different vectors")
+	}
+}
+
+func TestParallelTrainingRuns(t *testing.T) {
+	sents := planted(6000, 9)
+	m := Train(sents, Options{Dim: 16, Epochs: 8, Window: 3, Seed: 9, Workers: 4})
+	if m.VocabSize() == 0 {
+		t.Fatal("parallel training produced empty model")
+	}
+	// The planted signal should survive hogwild updates.
+	if pair, cross := m.Similarity(0, 1), m.Similarity(0, 2); pair <= cross {
+		t.Fatalf("parallel training lost signal: pair %v <= cross %v", pair, cross)
+	}
+}
+
+func TestSingleTokenSentencesSkipped(t *testing.T) {
+	sents := [][]int32{{1}, {2}, {1, 2}}
+	m := Train(sents, Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1})
+	if m.VocabSize() != 2 {
+		t.Fatalf("vocab = %d", m.VocabSize())
+	}
+}
+
+func TestVectorAliasStability(t *testing.T) {
+	sents := [][]int32{{1, 2}, {2, 3}}
+	m := Train(sents, Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1})
+	v1 := m.Vector(1)
+	v2 := m.Vector(1)
+	if &v1[0] != &v2[0] {
+		t.Fatal("Vector should return a stable view")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Dim != 32 || o.Window != 5 || o.Negatives != 4 || o.Epochs != 3 || o.LearningRate != 0.025 || o.Workers < 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

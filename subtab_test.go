@@ -1,0 +1,113 @@
+package subtab_test
+
+import (
+	"strings"
+	"testing"
+
+	"subtab"
+)
+
+// TestPublicAPIPipeline exercises the whole public surface end to end:
+// generate → preprocess → select → query-select → mine → highlight →
+// evaluate → baselines.
+func TestPublicAPIPipeline(t *testing.T) {
+	ds, err := subtab.GenerateDataset("CY", 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := subtab.DefaultOptions()
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 1, Workers: 1}
+	model, err := subtab.Preprocess(ds.T, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := model.Select(5, 5, ds.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.View.NumRows() != 5 || st.View.NumCols() != 5 {
+		t.Fatalf("view dims = %dx%d", st.View.NumRows(), st.View.NumCols())
+	}
+
+	q := &subtab.Query{Where: []subtab.Predicate{{Col: "severity", Op: subtab.Eq, Str: "high"}}}
+	qst, err := model.SelectQuery(q, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qst.SourceRows) == 0 {
+		t.Fatal("query selection empty")
+	}
+
+	rs, err := subtab.MineRules(model, subtab.MiningOptions{MinSupport: 0.1, MinConfidence: 0.5, MinRuleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules mined")
+	}
+	hl, perRow := subtab.Highlight(model, rs, st)
+	if len(perRow) != 5 {
+		t.Fatalf("perRow = %d", len(perRow))
+	}
+	_ = st.View.Render(hl)
+
+	e := subtab.NewEvaluator(model, rs, 0.5)
+	score := e.Combined(st.AsMetricSubTable())
+	if score <= 0 || score > 1 {
+		t.Fatalf("score = %v", score)
+	}
+
+	ran, err := subtab.RandomBaseline(e, subtab.RandomBaselineOptions{K: 5, L: 5, MaxIters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Score < 0 {
+		t.Fatal("bad RAN score")
+	}
+	nc, err := subtab.NaiveClusteringBaseline(e, subtab.NCBaselineOptions{K: 5, L: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nc.ST.Rows) == 0 {
+		t.Fatal("NC empty")
+	}
+}
+
+func TestPublicAPICSV(t *testing.T) {
+	csv := "a,b\n1,x\n2,y\n3,x\n"
+	tab, err := subtab.ReadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if tab.Column("a").Kind != subtab.Numeric || tab.Column("b").Kind != subtab.Categorical {
+		t.Fatal("kind inference failed")
+	}
+}
+
+func TestPublicAPIBuildTable(t *testing.T) {
+	tab := subtab.NewTable("mini")
+	if err := tab.AddColumn(subtab.NewNumericColumn("n", []float64{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn(subtab.NewCategoricalColumn("c", []string{"a", "b"})); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := subtab.DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("datasets = %v", names)
+	}
+	for _, n := range names {
+		if _, err := subtab.GenerateDataset(n, 50, 1); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
