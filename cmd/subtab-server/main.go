@@ -1,0 +1,127 @@
+// Command subtab-server serves interactive sub-table selection over HTTP.
+// Tables are uploaded as CSV, pre-processed once (bin → corpus → Word2Vec),
+// cached in an LRU-bounded in-memory store, optionally persisted to disk,
+// and then served to any number of concurrent sessions: select, query,
+// rule-mining and highlighting all reuse the cached model, which is what
+// turns the paper's one-off pre-processing cost into interactive request
+// latencies.
+//
+// Usage:
+//
+//	subtab-server -addr :8080 -cache-dir /var/lib/subtab -max-models 8
+//
+// Pre-load tables at startup with name=path.csv arguments:
+//
+//	subtab-server flights=testdata/flights.csv
+//
+// API (see internal/serve and README.md for details):
+//
+//	GET    /healthz
+//	GET    /tables
+//	POST   /tables?name=N            (CSV body)
+//	GET    /tables/{name}
+//	DELETE /tables/{name}
+//	POST   /tables/{name}/select     {"k":10,"l":10,"targets":[...]}
+//	POST   /tables/{name}/query      {"query":{...},"k":10,"l":10}
+//	GET    /tables/{name}/rules
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"subtab"
+	"subtab/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("subtab-server: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "persist pre-processed models to this directory (empty = memory only)")
+		maxModels = flag.Int("max-models", serve.DefaultMaxModels, "models kept in memory (LRU; effective only with -cache-dir, memory-only stores never evict)")
+		seed      = flag.Int64("seed", 1, "default pipeline seed for uploaded tables")
+		timeout   = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown grace period")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheDir, *maxModels, *seed, *timeout, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, cacheDir string, maxModels int, seed int64, timeout time.Duration, preload []string) error {
+	opt := subtab.DefaultOptions()
+	opt.Bins.Seed = seed
+	opt.Corpus.Seed = seed
+	opt.Embedding.Seed = seed
+	opt.ClusterSeed = seed
+
+	store := serve.NewStore(serve.StoreOptions{MaxModels: maxModels, Dir: cacheDir})
+	svc := serve.NewService(store, opt)
+
+	// Pre-load name=path.csv tables so the server starts warm. A table that
+	// is already in the disk cache is served from there; Preprocess runs
+	// only for genuinely new data.
+	for _, arg := range preload {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("bad preload argument %q, want name=path.csv", arg)
+		}
+		start := time.Now()
+		if store.Contains(name) {
+			log.Printf("preload %s: already cached", name)
+			continue
+		}
+		t, err := subtab.ReadCSVFile(path)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+		m, err := svc.AddTable(name, t, nil, false)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+		log.Printf("preload %s: %d rows x %d cols in %s",
+			name, m.T.NumRows(), m.T.NumCols(), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           serve.NewHandler(svc, log.Default()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (cache-dir=%q, max-models=%d)", addr, cacheDir, maxModels)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("received %s, draining connections", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Print("bye")
+	return nil
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"subtab"
@@ -47,17 +48,22 @@ func main() {
 		}},
 	}
 
+	failed := false
 	for i, step := range session {
 		start := time.Now()
 		st, err := model.SelectQuery(step.q, 6, 6, nil)
 		if err != nil {
 			log.Printf("step %d (%s): %v", i+1, step.title, err)
+			failed = true
 			continue
 		}
 		fmt.Printf("step %d — %s\n  query: %s\n  selection took %s\n",
 			i+1, step.title, step.q, time.Since(start).Round(time.Millisecond))
 		fmt.Print(indent(st.View.String()))
 		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,3 @@
+module subtab
+
+go 1.24

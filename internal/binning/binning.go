@@ -192,6 +192,37 @@ func Bin(t *table.Table, opt Options) (*Binned, error) {
 	return b, nil
 }
 
+// Restore rebuilds a Binned from its serialized parts (package modelio),
+// recomputing the derived item-id layout instead of re-running Bin. The
+// slices are retained, not copied.
+func Restore(t *table.Table, cols []ColumnBins, codes [][]uint16) (*Binned, error) {
+	if len(cols) != t.NumCols() {
+		return nil, fmt.Errorf("binning: restore: %d column binnings for a %d-column table", len(cols), t.NumCols())
+	}
+	if len(codes) != len(cols) {
+		return nil, fmt.Errorf("binning: restore: %d code columns for %d binnings", len(codes), len(cols))
+	}
+	b := &Binned{T: t, Cols: cols, Codes: codes}
+	n := t.NumRows()
+	for c := range cols {
+		if len(codes[c]) != n {
+			return nil, fmt.Errorf("binning: restore: column %d has %d codes, table has %d rows", c, len(codes[c]), n)
+		}
+		nb := cols[c].NumBins()
+		if nb == 0 {
+			return nil, fmt.Errorf("binning: restore: column %d has no bins", c)
+		}
+		for _, code := range codes[c] {
+			if int(code) >= nb {
+				return nil, fmt.Errorf("binning: restore: column %d code %d out of range (%d bins)", c, code, nb)
+			}
+		}
+		b.colBase = append(b.colBase, int32(b.numItems))
+		b.numItems += nb
+	}
+	return b, nil
+}
+
 // NumItems returns the size of the global item-id space.
 func (b *Binned) NumItems() int { return b.numItems }
 

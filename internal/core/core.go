@@ -107,6 +107,42 @@ func Preprocess(t *table.Table, opt Options) (*Model, error) {
 	return m, nil
 }
 
+// Restore rebuilds a pre-processed model from its serialized parts (package
+// modelio) without re-running Preprocess. colAffinity must be the matrix
+// previously obtained from AffinityMatrix; passing nil recomputes it (the
+// only expensive step of restoration).
+func Restore(t *table.Table, b *binning.Binned, emb *word2vec.Model, opt Options, colAffinity [][]float64) (*Model, error) {
+	if b.T != t {
+		return nil, fmt.Errorf("core: restore: binned representation does not wrap the given table")
+	}
+	m := &Model{T: t, B: b, Emb: emb, Opt: opt}
+	m.itemVecs = make([][]float32, b.NumItems())
+	for item := 0; item < b.NumItems(); item++ {
+		m.itemVecs[item] = emb.Vector(int32(item))
+	}
+	if colAffinity == nil {
+		m.computeColumnAffinities()
+		return m, nil
+	}
+	mc := t.NumCols()
+	if len(colAffinity) != mc {
+		return nil, fmt.Errorf("core: restore: affinity matrix has %d rows, table has %d columns", len(colAffinity), mc)
+	}
+	for i, row := range colAffinity {
+		if len(row) != mc {
+			return nil, fmt.Errorf("core: restore: affinity row %d has %d entries, want %d", i, len(row), mc)
+		}
+	}
+	m.colAffinity = colAffinity
+	return m, nil
+}
+
+// AffinityMatrix returns the precomputed column-affinity matrix, indexed by
+// original column position. The returned slices alias model memory and must
+// not be mutated; they exist so the model can be serialized (package
+// modelio) and restored without re-running the affinity computation.
+func (m *Model) AffinityMatrix() [][]float64 { return m.colAffinity }
+
 // computeColumnAffinities fills the global pairwise column-affinity matrix.
 func (m *Model) computeColumnAffinities() {
 	mc := m.T.NumCols()

@@ -6,6 +6,8 @@ import (
 )
 
 // testLab returns a lab small enough for unit tests (seconds, not minutes).
+// Under -short the row counts shrink further so the cheap tests stay in the
+// quick suite while the statistical replications skip (see skipIfShort).
 func testLab() *Lab {
 	l := NewLab(42)
 	l.Rows = map[string]int{"FL": 3000, "CC": 2500, "SP": 2500, "CY": 2000, "BL": 2500, "USF": 400}
@@ -15,7 +17,27 @@ func testLab() *Lab {
 	l.RanIters = 25
 	l.MABIters = 4000
 	l.MaxCombos = 4
+	if testing.Short() {
+		l.Rows = map[string]int{"FL": 800, "CC": 700, "SP": 700, "CY": 600, "BL": 700, "USF": 200}
+		l.Dim = 16
+		l.Epochs = 2
+		l.RanIters = 10
+		l.MABIters = 800
+		l.MaxCombos = 2
+	}
 	return l
+}
+
+// skipIfShort gates the full-scale figure/table replications: their
+// assertions are statistical (SubTab beats baseline X by margin Y) and only
+// hold at the row counts of the full lab, which cost tens of seconds per
+// figure. The quick suite still runs the pipeline end to end via
+// TestPrepareCaches and TestFig9Shape on the scaled-down lab.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("statistical replication at full scale; run without -short")
+	}
 }
 
 func TestPrepareCaches(t *testing.T) {
@@ -50,6 +72,7 @@ func TestPrepareUnknown(t *testing.T) {
 // insights and fewer empty-handed analysts than RAN and NC, and its
 // intrinsic combined score ranks the same way (§6.2.3).
 func TestUserStudyShape(t *testing.T) {
+	skipIfShort(t)
 	l := testLab()
 	res, err := l.UserStudy()
 	if err != nil {
@@ -107,6 +130,7 @@ func TestUserStudyShape(t *testing.T) {
 // TestFig6Shape verifies the simulation-study claims: SubTab captures more
 // next-query fragments than the baselines, and more columns help.
 func TestFig6Shape(t *testing.T) {
+	skipIfShort(t)
 	l := testLab()
 	res, err := l.Fig6(24)
 	if err != nil {
@@ -140,6 +164,7 @@ func TestFig6Shape(t *testing.T) {
 // TestFig7Shape verifies the slow-baseline claims: every algorithm reports
 // a quality in [0,1]; SubTab is competitive with EmbDI; MAB does not win.
 func TestFig7Shape(t *testing.T) {
+	skipIfShort(t)
 	l := testLab()
 	res, err := l.Fig7()
 	if err != nil {
@@ -184,6 +209,7 @@ func TestFig7Shape(t *testing.T) {
 // metric directly and is stronger than the paper's one-minute budget at
 // full scale; see EXPERIMENTS.md).
 func TestFig8Shape(t *testing.T) {
+	skipIfShort(t)
 	l := testLab()
 	res, err := l.Fig8()
 	if err != nil {
@@ -253,6 +279,7 @@ func TestFig9Shape(t *testing.T) {
 // dominates the baselines across all evaluation settings (the paper's
 // "ranking between algorithms is preserved").
 func TestFig10Shape(t *testing.T) {
+	skipIfShort(t)
 	l := testLab()
 	res, err := l.Fig10()
 	if err != nil {

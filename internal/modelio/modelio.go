@@ -1,0 +1,631 @@
+// Package modelio persists pre-processed SubTab models. The whole point of
+// the paper's two-phase design is that the expensive pre-processing phase
+// (bin → corpus → Word2Vec) is paid once while every display is interactive;
+// serializing the model extends "once" across process restarts and lets a
+// serving layer (package serve) keep warm models on disk.
+//
+// The format is a versioned little-endian binary codec:
+//
+//	"SUBTABMD" magic · uint16 version · options · table · binned
+//	representation · embedding matrices · column-affinity matrix · CRC-32C
+//
+// Everything Select/SelectQuery needs is round-tripped — including the item
+// vectors and the precomputed column-affinity matrix — so a loaded model
+// skips binning, training and the affinity computation entirely and produces
+// byte-identical selections (same seeds) to the model that was saved.
+//
+// The trailing CRC-32C covers every preceding byte; Load rejects truncated
+// or bit-flipped files with an error wrapping ErrCorrupt, unknown magics
+// with ErrBadMagic, and newer/older format versions with ErrVersion.
+package modelio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"subtab/internal/binning"
+	"subtab/internal/core"
+	"subtab/internal/table"
+	"subtab/internal/word2vec"
+)
+
+// Version is the current model-file format version. It must be bumped
+// whenever the layout of any serialized structure (including the Options
+// structs) changes.
+const Version uint16 = 1
+
+var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
+
+// Sentinel errors returned (wrapped) by Load.
+var (
+	ErrBadMagic = errors.New("modelio: not a subtab model file")
+	ErrVersion  = errors.New("modelio: unsupported model file version")
+	ErrCorrupt  = errors.New("modelio: corrupt model file")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes m to w in the versioned binary format.
+func Save(w io.Writer, m *core.Model) error {
+	if m == nil || m.T == nil || m.B == nil || m.Emb == nil {
+		return errors.New("modelio: cannot save incomplete model")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	h := crc32.New(crcTable)
+	e := &encoder{w: io.MultiWriter(bw, h)}
+
+	e.bytes(magic[:])
+	e.u16(Version)
+	writeOptions(e, m.Opt)
+	writeTable(e, m.T)
+	writeBinned(e, m.B)
+	writeEmbedding(e, m.Emb)
+	writeAffinity(e, m.AffinityMatrix(), m.T.NumCols())
+	if e.err != nil {
+		return e.err
+	}
+	// The checksum trails the data it covers, so it is written past the
+	// hashing writer.
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], h.Sum32())
+	if _, err := bw.Write(crc[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes m to path, creating or truncating the file.
+func SaveFile(path string, m *core.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*core.Model, error) {
+	h := crc32.New(crcTable)
+	d := &decoder{r: bufio.NewReaderSize(r, 1<<16), h: h}
+
+	var gotMagic [8]byte
+	d.bytes(gotMagic[:])
+	if d.err != nil || gotMagic != magic {
+		return nil, ErrBadMagic
+	}
+	if v := d.u16(); d.err != nil || v != Version {
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	opt := readOptions(d)
+	t := readTable(d)
+	b := readBinned(d, t)
+	emb := readEmbedding(d)
+	aff := readAffinity(d, t)
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Verify the trailing checksum before trusting any of the decoded data
+	// structurally beyond what decoding itself validated.
+	want := h.Sum32()
+	var crc [4]byte
+	if _, err := io.ReadFull(d.r, crc[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	m, err := core.Restore(t, b, emb, opt, aff)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// ---------------------------------------------------------------------------
+// Sections
+
+func writeOptions(e *encoder, o core.Options) {
+	e.i64(int64(o.Bins.MaxBins))
+	e.i64(int64(o.Bins.Strategy))
+	e.i64(int64(o.Bins.SampleSize))
+	e.i64(int64(o.Bins.GridSize))
+	e.i64(o.Bins.Seed)
+	e.i64(int64(o.Corpus.MaxSentences))
+	e.bool(o.Corpus.TupleSentences)
+	e.bool(o.Corpus.ColumnSentences)
+	e.i64(o.Corpus.Seed)
+	e.i64(int64(o.Embedding.Dim))
+	e.i64(int64(o.Embedding.Window))
+	e.i64(int64(o.Embedding.Negatives))
+	e.i64(int64(o.Embedding.Epochs))
+	e.f64(o.Embedding.LearningRate)
+	e.i64(o.Embedding.Seed)
+	e.i64(int64(o.Embedding.Workers))
+	e.i64(int64(o.Columns))
+	e.i64(o.ClusterSeed)
+}
+
+func readOptions(d *decoder) core.Options {
+	var o core.Options
+	o.Bins.MaxBins = int(d.i64())
+	o.Bins.Strategy = binning.Strategy(d.i64())
+	o.Bins.SampleSize = int(d.i64())
+	o.Bins.GridSize = int(d.i64())
+	o.Bins.Seed = d.i64()
+	o.Corpus.MaxSentences = int(d.i64())
+	o.Corpus.TupleSentences = d.bool()
+	o.Corpus.ColumnSentences = d.bool()
+	o.Corpus.Seed = d.i64()
+	o.Embedding.Dim = int(d.i64())
+	o.Embedding.Window = int(d.i64())
+	o.Embedding.Negatives = int(d.i64())
+	o.Embedding.Epochs = int(d.i64())
+	o.Embedding.LearningRate = d.f64()
+	o.Embedding.Seed = d.i64()
+	o.Embedding.Workers = int(d.i64())
+	o.Columns = core.ColumnStrategy(d.i64())
+	o.ClusterSeed = d.i64()
+	return o
+}
+
+func writeTable(e *encoder, t *table.Table) {
+	e.str(t.Name)
+	e.u32(uint32(t.NumRows()))
+	e.u32(uint32(t.NumCols()))
+	for _, c := range t.Columns() {
+		e.str(c.Name)
+		e.u8(uint8(c.Kind))
+		if c.Kind == table.Numeric {
+			e.f64s(c.Nums)
+			continue
+		}
+		dictSize := 0
+		if c.Dict != nil {
+			dictSize = c.Dict.Size()
+		}
+		e.u32(uint32(dictSize))
+		for code := 0; code < dictSize; code++ {
+			e.str(c.Dict.String(int32(code)))
+		}
+		e.i32s(c.Cats)
+	}
+}
+
+// maxColumns bounds structure counts that size allocations directly; larger
+// values in a file can only come from corruption.
+const maxColumns = 1 << 20
+
+func readTable(d *decoder) *table.Table {
+	name := d.str()
+	nRows := int(d.u32())
+	nCols := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if nCols > maxColumns {
+		d.fail("column count %d exceeds limit", nCols)
+		return nil
+	}
+	cols := make([]*table.Column, 0, min(nCols, 4096))
+	for i := 0; i < nCols; i++ {
+		colName := d.str()
+		kind := table.Kind(d.u8())
+		switch kind {
+		case table.Numeric:
+			if n := int(d.u32()); d.err == nil && n != nRows {
+				d.fail("numeric column %q has %d values, table has %d rows", colName, n, nRows)
+				return nil
+			}
+			nums := d.f64sN(nRows)
+			cols = append(cols, table.NewNumeric(colName, nums))
+		case table.Categorical:
+			dictSize := int(d.u32())
+			dict := table.NewDict()
+			for code := 0; code < dictSize; code++ {
+				s := d.str()
+				if d.err != nil {
+					return nil
+				}
+				if dict.Code(s) != int32(code) {
+					d.fail("duplicate dictionary string %q", s)
+					return nil
+				}
+			}
+			cats := d.i32s(nRows)
+			for _, code := range cats {
+				if int(code) >= dictSize {
+					d.fail("categorical code %d out of dictionary range %d", code, dictSize)
+					return nil
+				}
+			}
+			cols = append(cols, &table.Column{Name: colName, Kind: table.Categorical, Cats: cats, Dict: dict})
+		default:
+			d.fail("unknown column kind %d", kind)
+			return nil
+		}
+		if d.err != nil {
+			return nil
+		}
+	}
+	t, err := table.FromColumns(name, cols)
+	if err != nil {
+		d.fail("rebuilding table: %v", err)
+		return nil
+	}
+	return t
+}
+
+func writeBinned(e *encoder, b *binning.Binned) {
+	e.u32(uint32(len(b.Cols)))
+	for i := range b.Cols {
+		cb := &b.Cols[i]
+		e.str(cb.Col)
+		e.u8(uint8(cb.Kind))
+		e.u32(uint32(len(cb.Labels)))
+		for _, l := range cb.Labels {
+			e.str(l)
+		}
+		e.f64s(cb.Cuts)
+		ints := make([]int32, len(cb.CatToBin))
+		for j, v := range cb.CatToBin {
+			ints[j] = int32(v)
+		}
+		e.u32(uint32(len(ints)))
+		e.i32s(ints)
+		e.i64(int64(cb.MissingBin))
+		e.u16s(b.Codes[i])
+	}
+}
+
+func readBinned(d *decoder, t *table.Table) *binning.Binned {
+	if d.err != nil {
+		return nil
+	}
+	nCols := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if nCols != t.NumCols() {
+		d.fail("binned representation has %d columns, table has %d", nCols, t.NumCols())
+		return nil
+	}
+	nRows := t.NumRows()
+	cols := make([]binning.ColumnBins, nCols)
+	codes := make([][]uint16, nCols)
+	for i := 0; i < nCols; i++ {
+		cb := &cols[i]
+		cb.Col = d.str()
+		cb.Kind = table.Kind(d.u8())
+		nLabels := int(d.u32())
+		if d.err != nil {
+			return nil
+		}
+		if nLabels > 1<<16 {
+			// Bin codes are uint16, so no column can have more bins.
+			d.fail("column %d has %d bin labels", i, nLabels)
+			return nil
+		}
+		cb.Labels = make([]string, nLabels)
+		for j := range cb.Labels {
+			cb.Labels[j] = d.str()
+		}
+		nCuts := int(d.u32())
+		cb.Cuts = d.f64sN(nCuts)
+		nCat := int(d.u32())
+		catInts := d.i32s(nCat)
+		cb.CatToBin = make([]int, len(catInts))
+		for j, v := range catInts {
+			cb.CatToBin[j] = int(v)
+		}
+		cb.MissingBin = int(d.i64())
+		codes[i] = d.u16s(nRows)
+		if d.err != nil {
+			return nil
+		}
+	}
+	b, err := binning.Restore(t, cols, codes)
+	if err != nil {
+		d.fail("rebuilding binned representation: %v", err)
+		return nil
+	}
+	return b
+}
+
+// f64s with an explicit leading count (cuts have no implied length).
+func (e *encoder) f64s(xs []float64) {
+	e.u32(uint32(len(xs)))
+	for _, x := range xs {
+		e.f64(x)
+	}
+}
+
+func writeEmbedding(e *encoder, m *word2vec.Model) {
+	e.u32(uint32(m.Dim()))
+	e.u32(uint32(m.VocabSize()))
+	e.i32s(m.Tokens())
+	e.f32s(m.VectorData())
+	e.f32s(m.ContextData())
+}
+
+func readEmbedding(d *decoder) *word2vec.Model {
+	dim := int(d.u32())
+	vocab := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if dim <= 0 || dim > 1<<16 {
+		d.fail("embedding dimension %d out of range", dim)
+		return nil
+	}
+	tokens := d.i32s(vocab)
+	vecs := d.f32s(vocab * dim)
+	ctx := d.f32s(vocab * dim)
+	if d.err != nil {
+		return nil
+	}
+	m, err := word2vec.Restore(dim, tokens, vecs, ctx)
+	if err != nil {
+		d.fail("rebuilding embedding: %v", err)
+		return nil
+	}
+	return m
+}
+
+func writeAffinity(e *encoder, aff [][]float64, nCols int) {
+	e.u32(uint32(nCols))
+	for _, row := range aff {
+		for _, a := range row {
+			e.f64(a)
+		}
+	}
+}
+
+func readAffinity(d *decoder, t *table.Table) [][]float64 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n != t.NumCols() {
+		d.fail("affinity matrix for %d columns, table has %d", n, t.NumCols())
+		return nil
+	}
+	aff := make([][]float64, n)
+	for i := range aff {
+		aff[i] = d.f64sN(n)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return aff
+}
+
+// ---------------------------------------------------------------------------
+// Primitive codec. The encoder and decoder carry a sticky error so sections
+// can be written/read straight-line; the decoder reads large slices in
+// bounded chunks so that a corrupted length fails with ErrCorrupt at EOF
+// instead of attempting one huge allocation.
+
+type encoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *encoder) bytes(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *encoder) u8(v uint8) { e.bytes([]byte{v}) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) u16(v uint16) { binary.LittleEndian.PutUint16(e.buf[:2], v); e.bytes(e.buf[:2]) }
+func (e *encoder) u32(v uint32) { binary.LittleEndian.PutUint32(e.buf[:4], v); e.bytes(e.buf[:4]) }
+func (e *encoder) u64(v uint64) { binary.LittleEndian.PutUint64(e.buf[:8], v); e.bytes(e.buf[:8]) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *encoder) i32s(xs []int32) {
+	if e.err != nil {
+		return
+	}
+	buf := make([]byte, 0, 1<<16)
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		if len(buf) >= 1<<16 {
+			e.bytes(buf)
+			buf = buf[:0]
+		}
+	}
+	e.bytes(buf)
+}
+
+func (e *encoder) u16s(xs []uint16) {
+	buf := make([]byte, 0, 1<<16)
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint16(buf, x)
+		if len(buf) >= 1<<16 {
+			e.bytes(buf)
+			buf = buf[:0]
+		}
+	}
+	e.bytes(buf)
+}
+
+func (e *encoder) f32s(xs []float32) {
+	buf := make([]byte, 0, 1<<16)
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		if len(buf) >= 1<<16 {
+			e.bytes(buf)
+			buf = buf[:0]
+		}
+	}
+	e.bytes(buf)
+}
+
+type decoder struct {
+	r   io.Reader
+	h   hash.Hash32
+	err error
+	buf [8]byte
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) bytes(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = fmt.Errorf("%w: unexpected end of file", ErrCorrupt)
+		return
+	}
+	d.h.Write(p)
+}
+
+func (d *decoder) u8() uint8 {
+	d.bytes(d.buf[:1])
+	return d.buf[0]
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u16() uint16 {
+	d.bytes(d.buf[:2])
+	return binary.LittleEndian.Uint16(d.buf[:2])
+}
+
+func (d *decoder) u32() uint32 {
+	d.bytes(d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64() uint64 {
+	d.bytes(d.buf[:8])
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// maxChunk bounds single allocations while decoding; corrupted lengths then
+// hit EOF after at most one chunk instead of allocating gigabytes up front.
+const maxChunk = 1 << 20
+
+func (d *decoder) str() string {
+	// Chunked like every variable-length read, so Save/Load stay symmetric
+	// for strings of any length while corrupt lengths still fail at EOF.
+	return string(d.raw(int(d.u32())))
+}
+
+// raw reads n bytes in bounded chunks.
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 {
+		d.fail("negative length %d", n)
+		return nil
+	}
+	out := make([]byte, 0, min(n, maxChunk))
+	for len(out) < n {
+		c := min(n-len(out), maxChunk)
+		out = append(out, make([]byte, c)...)
+		d.bytes(out[len(out)-c:])
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (d *decoder) f64sN(n int) []float64 {
+	p := d.raw(n * 8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return out
+}
+
+func (d *decoder) f32s(n int) []float32 {
+	p := d.raw(n * 4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	return out
+}
+
+func (d *decoder) i32s(n int) []int32 {
+	p := d.raw(n * 4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	return out
+}
+
+func (d *decoder) u16s(n int) []uint16 {
+	p := d.raw(n * 2)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(p[i*2:])
+	}
+	return out
+}

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"subtab/internal/binning"
+	"subtab/internal/core"
+	"subtab/internal/query"
+	"subtab/internal/rules"
+	"subtab/internal/table"
+)
+
+// maxCSVBody bounds uploaded CSV bodies (tables beyond this belong in a
+// bulk-ingest path, not an HTTP upload).
+const maxCSVBody = 1 << 30
+
+// NewHandler adapts a Service to an HTTP/JSON API:
+//
+//	GET    /healthz                 liveness + cache stats
+//	GET    /tables                  list served tables
+//	POST   /tables?name=N           upload a CSV body and pre-process it
+//	GET    /tables/{name}           one table's info
+//	DELETE /tables/{name}           drop a table
+//	POST   /tables/{name}/select    k×l sub-table of the whole table
+//	POST   /tables/{name}/query     k×l sub-table of a query result
+//	GET    /tables/{name}/rules     mined association rules
+//
+// Every response is JSON; errors are {"error": "..."} with a matching
+// status code. A nil logger disables request logging.
+func NewHandler(svc *Service, logger *log.Logger) http.Handler {
+	h := &api{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("GET /tables", h.listTables)
+	mux.HandleFunc("POST /tables", h.createTable)
+	mux.HandleFunc("GET /tables/{name}", h.tableInfo)
+	mux.HandleFunc("DELETE /tables/{name}", h.deleteTable)
+	mux.HandleFunc("POST /tables/{name}/select", h.selectWhole)
+	mux.HandleFunc("POST /tables/{name}/query", h.selectQuery)
+	mux.HandleFunc("GET /tables/{name}/rules", h.rules)
+	if logger == nil {
+		return mux
+	}
+	return logRequests(logger, mux)
+}
+
+// logRequests wraps next with per-request logging (method, path, status,
+// duration).
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+type api struct {
+	svc *Service
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeBadRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (h *api) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"tables": len(h.svc.Tables()),
+		"cache":  h.svc.Store().Stats(),
+	})
+}
+
+func (h *api) listTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": h.svc.Tables()})
+}
+
+func (h *api) tableInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := h.svc.Info(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *api) deleteTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !h.svc.Store().Contains(name) {
+		writeError(w, fmt.Errorf("%w: %q", ErrNotFound, name))
+		return
+	}
+	h.svc.RemoveTable(name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// createTable ingests a CSV body: POST /tables?name=flights with optional
+// pipeline knobs (bins, dim, window, epochs, seed, strategy, columns,
+// workers) and replace=1 to overwrite an existing table.
+func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	name := qp.Get("name")
+	if strings.TrimSpace(name) == "" {
+		writeBadRequest(w, "missing required query parameter: name")
+		return
+	}
+	opt, err := pipelineOptions(h.svc.defaults, qp)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxCSVBody))
+	if err != nil {
+		writeBadRequest(w, "parsing CSV: %v", err)
+		return
+	}
+	start := time.Now()
+	m, err := h.svc.AddTable(name, t, opt, qp.Get("replace") == "1" || qp.Get("replace") == "true")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":          name,
+		"rows":          m.T.NumRows(),
+		"cols":          m.T.NumCols(),
+		"columns":       m.T.ColumnNames(),
+		"preprocess_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// pipelineOptions overlays query-parameter knobs on the service defaults.
+func pipelineOptions(base core.Options, qp map[string][]string) (*core.Options, error) {
+	opt := base
+	get := func(key string) (string, bool) {
+		vs := qp[key]
+		if len(vs) == 0 || vs[0] == "" {
+			return "", false
+		}
+		return vs[0], true
+	}
+	intKnobs := map[string]*int{
+		"bins":    &opt.Bins.MaxBins,
+		"dim":     &opt.Embedding.Dim,
+		"window":  &opt.Embedding.Window,
+		"epochs":  &opt.Embedding.Epochs,
+		"workers": &opt.Embedding.Workers,
+	}
+	for key, dst := range intKnobs {
+		if v, ok := get(key); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("parameter %s: want a non-negative integer, got %q", key, v)
+			}
+			*dst = n
+		}
+	}
+	if v, ok := get("seed"); ok {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter seed: want an integer, got %q", v)
+		}
+		opt.Bins.Seed, opt.Corpus.Seed, opt.Embedding.Seed, opt.ClusterSeed = seed, seed, seed, seed
+	}
+	if v, ok := get("strategy"); ok {
+		switch v {
+		case "kde":
+			opt.Bins.Strategy = binning.KDEValleys
+		case "quantile":
+			opt.Bins.Strategy = binning.Quantile
+		case "equal-width":
+			opt.Bins.Strategy = binning.EqualWidth
+		default:
+			return nil, fmt.Errorf("parameter strategy: want kde, quantile or equal-width, got %q", v)
+		}
+	}
+	if v, ok := get("columns"); ok {
+		switch v {
+		case "pattern-groups":
+			opt.Columns = core.PatternGroups
+		case "centroids":
+			opt.Columns = core.Centroids
+		default:
+			return nil, fmt.Errorf("parameter columns: want pattern-groups or centroids, got %q", v)
+		}
+	}
+	return &opt, nil
+}
+
+// selectRequest is the body of /select and /query. K and L default to 10
+// when omitted; Query is required for /query and ignored for /select.
+type selectRequest struct {
+	K         int       `json:"k"`
+	L         int       `json:"l"`
+	Targets   []string  `json:"targets"`
+	Highlight bool      `json:"highlight"`
+	Query     *queryDTO `json:"query"`
+}
+
+type subTableResponse struct {
+	Name       string     `json:"name"`
+	SourceRows []int      `json:"source_rows"`
+	Cols       []string   `json:"cols"`
+	Cells      [][]string `json:"cells"`
+	View       string     `json:"view"`
+	RuleLabels []string   `json:"rule_labels,omitempty"`
+	TookMS     float64    `json:"took_ms"`
+}
+
+func (h *api) selectWhole(w http.ResponseWriter, r *http.Request) {
+	h.doSelect(w, r, false)
+}
+
+func (h *api) selectQuery(w http.ResponseWriter, r *http.Request) {
+	h.doSelect(w, r, true)
+}
+
+func (h *api) doSelect(w http.ResponseWriter, r *http.Request, withQuery bool) {
+	name := r.PathValue("name")
+	var req selectRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.L == 0 {
+		req.L = 10
+	}
+	var q *query.Query
+	if withQuery {
+		if req.Query == nil {
+			writeBadRequest(w, "missing required field: query")
+			return
+		}
+		var err error
+		if q, err = req.Query.toQuery(); err != nil {
+			writeBadRequest(w, "%v", err)
+			return
+		}
+	}
+	start := time.Now()
+	st, err := h.svc.Select(name, q, req.K, req.L, req.Targets)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := subTableResponse{
+		Name:       name,
+		SourceRows: st.SourceRows,
+		Cols:       st.Cols,
+		Cells:      viewCells(st.View),
+		View:       st.View.String(),
+	}
+	if req.Highlight {
+		view, labels, err := h.svc.Highlight(name, rules.Options{TargetCols: req.Targets}, st)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.View, resp.RuleLabels = view, labels
+	}
+	resp.TookMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func viewCells(v *table.Table) [][]string {
+	cells := make([][]string, v.NumRows())
+	for r := range cells {
+		row := make([]string, v.NumCols())
+		for c := range row {
+			row[c] = v.ColumnAt(c).CellString(r)
+		}
+		cells[r] = row
+	}
+	return cells
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty body: all fields take their defaults
+		}
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// queryDTO is the JSON shape of a query.Query.
+type queryDTO struct {
+	Where   []predicateDTO `json:"where"`
+	Select  []string       `json:"select"`
+	GroupBy []string       `json:"group_by"`
+	Aggs    []aggregateDTO `json:"aggs"`
+	OrderBy string         `json:"order_by"`
+	Asc     bool           `json:"asc"`
+	Limit   int            `json:"limit"`
+}
+
+type predicateDTO struct {
+	Col string  `json:"col"`
+	Op  string  `json:"op"`
+	Num float64 `json:"num"`
+	Str string  `json:"str"`
+}
+
+type aggregateDTO struct {
+	Func string `json:"func"`
+	Col  string `json:"col"`
+}
+
+func (d *queryDTO) toQuery() (*query.Query, error) {
+	q := &query.Query{
+		Select:  d.Select,
+		GroupBy: d.GroupBy,
+		OrderBy: d.OrderBy,
+		Asc:     d.Asc,
+		Limit:   d.Limit,
+	}
+	for _, p := range d.Where {
+		op, err := parseOp(p.Op)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = append(q.Where, query.Predicate{Col: p.Col, Op: op, Num: p.Num, Str: p.Str})
+	}
+	for _, a := range d.Aggs {
+		fn, err := parseAggFunc(a.Func)
+		if err != nil {
+			return nil, err
+		}
+		q.Aggs = append(q.Aggs, query.Aggregate{Func: fn, Col: a.Col})
+	}
+	return q, nil
+}
+
+func parseOp(s string) (query.Op, error) {
+	switch s {
+	case "=", "eq":
+		return query.Eq, nil
+	case "!=", "neq":
+		return query.Neq, nil
+	case "<", "lt":
+		return query.Lt, nil
+	case "<=", "leq":
+		return query.Leq, nil
+	case ">", "gt":
+		return query.Gt, nil
+	case ">=", "geq":
+		return query.Geq, nil
+	case "missing", "is_missing":
+		return query.IsMissing, nil
+	case "not_missing":
+		return query.NotMissing, nil
+	default:
+		return 0, fmt.Errorf("unknown predicate op %q", s)
+	}
+}
+
+func parseAggFunc(s string) (query.AggFunc, error) {
+	switch s {
+	case "count":
+		return query.Count, nil
+	case "sum":
+		return query.Sum, nil
+	case "mean", "avg":
+		return query.Mean, nil
+	case "min":
+		return query.Min, nil
+	case "max":
+		return query.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q", s)
+	}
+}
+
+// ruleResponse is the JSON shape of one mined rule.
+type ruleResponse struct {
+	LHS        []string `json:"lhs"`
+	RHS        []string `json:"rhs"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Label      string   `json:"label"`
+}
+
+// rules serves GET /tables/{name}/rules with mining knobs as query
+// parameters: min_support, min_confidence, min_rule_size, max_itemset_size,
+// max_rules, targets (comma-separated), all_splits, include_missing.
+func (h *api) rules(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	qp := r.URL.Query()
+	var opt rules.Options
+	for key, dst := range map[string]*float64{
+		"min_support":    &opt.MinSupport,
+		"min_confidence": &opt.MinConfidence,
+	} {
+		if v := qp.Get(key); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				writeBadRequest(w, "parameter %s: want a fraction in [0,1], got %q", key, v)
+				return
+			}
+			*dst = f
+		}
+	}
+	for key, dst := range map[string]*int{
+		"min_rule_size":    &opt.MinRuleSize,
+		"max_itemset_size": &opt.MaxItemsetSize,
+		"max_rules":        &opt.MaxRules,
+	} {
+		if v := qp.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeBadRequest(w, "parameter %s: want a non-negative integer, got %q", key, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	if v := qp.Get("targets"); v != "" {
+		opt.TargetCols = strings.Split(v, ",")
+	}
+	opt.AllSplits = qp.Get("all_splits") == "1" || qp.Get("all_splits") == "true"
+	opt.IncludeMissing = qp.Get("include_missing") == "1" || qp.Get("include_missing") == "true"
+
+	start := time.Now()
+	rs, m, err := h.svc.Rules(name, opt)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]ruleResponse, len(rs))
+	for i := range rs {
+		rr := &rs[i]
+		out[i] = ruleResponse{
+			Support:    rr.Support,
+			Confidence: rr.Confidence,
+			Label:      rr.Label(m.B),
+		}
+		for _, it := range rr.LHS {
+			out[i].LHS = append(out[i].LHS, m.B.ItemLabel(it))
+		}
+		for _, it := range rr.RHS {
+			out[i].RHS = append(out[i].RHS, m.B.ItemLabel(it))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    name,
+		"count":   len(out),
+		"rules":   out,
+		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

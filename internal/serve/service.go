@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"subtab/internal/core"
+	"subtab/internal/query"
+	"subtab/internal/rules"
+	"subtab/internal/table"
+)
+
+// ErrExists is returned by AddTable when the name is already taken and
+// replacement was not requested.
+var ErrExists = errors.New("serve: table already exists")
+
+// ErrBadRequest wraps failures caused by the request itself — unknown
+// columns, impossible dimensions, bad mining knobs — as opposed to faults
+// of the service. Selection and mining are deterministic functions of
+// (request, healthy model), so once the model resolved, their errors are
+// the caller's to fix; the HTTP layer maps this to 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Service exposes SubTab's interactive operations — select, select-query,
+// mine-rules, highlight — over named tables, backed by a Store so that each
+// table's pre-processing happens once no matter how many concurrent sessions
+// request it. All methods are safe for concurrent use: models are immutable
+// after pre-processing, so any number of selections can run against one
+// model in parallel.
+type Service struct {
+	store    *Store
+	defaults core.Options
+
+	rulesMu    sync.Mutex
+	rulesGen   map[string]uint64 // bumped on replace/remove; guards cache inserts
+	rulesCache map[string]rulesEntry
+}
+
+// rulesEntry pairs mined rules with the model they were mined against, so
+// rule item ids are always labeled against the matching binning even when
+// the table is concurrently replaced.
+type rulesEntry struct {
+	rs []rules.Rule
+	m  *core.Model
+}
+
+// NewService returns a service over the given store; defaults are the
+// pipeline options used when AddTable is called without explicit options.
+func NewService(store *Store, defaults core.Options) *Service {
+	return &Service{
+		store:      store,
+		defaults:   defaults,
+		rulesGen:   make(map[string]uint64),
+		rulesCache: make(map[string]rulesEntry),
+	}
+}
+
+// Store returns the underlying model store (for stats reporting).
+func (s *Service) Store() *Store { return s.store }
+
+// TableInfo describes one table known to the service. Rows, Cols and
+// Columns are filled only for models resident in memory; disk-only models
+// report Loaded == false and are materialized on first use.
+type TableInfo struct {
+	Name    string   `json:"name"`
+	Loaded  bool     `json:"loaded"`
+	Rows    int      `json:"rows,omitempty"`
+	Cols    int      `json:"cols,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+}
+
+// AddTable pre-processes t and registers it under name. Concurrent AddTable
+// and Select calls for the same name share a single Preprocess run. With
+// replace false, a name that is already served returns ErrExists; with
+// replace true, the new model overwrites the old one and cached rules for
+// the name are invalidated.
+func (s *Service) AddTable(name string, t *table.Table, opt *core.Options, replace bool) (*core.Model, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, errors.New("serve: table name must not be empty")
+	}
+	o := s.defaults
+	if opt != nil {
+		o = *opt
+	}
+	build := func() (*core.Model, error) { return core.Preprocess(t, o) }
+	if !replace {
+		if s.store.Contains(name) {
+			return nil, fmt.Errorf("%w: %q", ErrExists, name)
+		}
+		return s.store.GetOrBuild(name, build)
+	}
+	m, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Put(name, m); err != nil {
+		return nil, err
+	}
+	s.invalidateRules(name)
+	return m, nil
+}
+
+// RemoveTable drops the named table from memory and disk.
+func (s *Service) RemoveTable(name string) {
+	s.store.Remove(name)
+	s.invalidateRules(name)
+}
+
+// Model returns the pre-processed model for name, loading it from the disk
+// cache if it was evicted from memory.
+func (s *Service) Model(name string) (*core.Model, error) {
+	return s.store.Get(name)
+}
+
+// Tables lists every table known to the service.
+func (s *Service) Tables() []TableInfo {
+	names := s.store.Names()
+	infos := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		infos = append(infos, s.info(name))
+	}
+	return infos
+}
+
+// Info describes one table; unknown names return ErrNotFound.
+func (s *Service) Info(name string) (TableInfo, error) {
+	if !s.store.Contains(name) {
+		return TableInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s.info(name), nil
+}
+
+func (s *Service) info(name string) TableInfo {
+	info := TableInfo{Name: name}
+	s.store.mu.Lock()
+	el, ok := s.store.entries[name]
+	var m *core.Model
+	if ok {
+		m = el.Value.(*storeEntry).model
+	}
+	s.store.mu.Unlock()
+	if m == nil {
+		return info
+	}
+	info.Loaded = true
+	info.Rows = m.T.NumRows()
+	info.Cols = m.T.NumCols()
+	info.Columns = m.T.ColumnNames()
+	return info
+}
+
+// Select picks a k×l sub-table of the named table, optionally restricted to
+// a query result (q nil selects over the whole table).
+func (s *Service) Select(name string, q *query.Query, k, l int, targets []string) (*core.SubTable, error) {
+	m, err := s.store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.SelectQuery(q, k, l, targets)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return st, nil
+}
+
+// Rules mines association rules over the named table's binned
+// representation, returning them together with the model they were mined
+// against (label rule items against that model, never a freshly fetched
+// one — the table may have been replaced in between). Mining depends only
+// on the immutable model and the options, so results are cached per
+// (table, options); a replace or remove racing a long mining run
+// invalidates the in-flight result instead of letting it repopulate the
+// cache.
+func (s *Service) Rules(name string, opt rules.Options) ([]rules.Rule, *core.Model, error) {
+	key := rulesKey(name, opt)
+	s.rulesMu.Lock()
+	startGen := s.rulesGen[name]
+	e, ok := s.rulesCache[key]
+	s.rulesMu.Unlock()
+	if ok {
+		return e.rs, e.m, nil
+	}
+	m, err := s.store.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := rules.Mine(m.B, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	s.rulesMu.Lock()
+	if s.rulesGen[name] == startGen {
+		if len(s.rulesCache) >= maxRulesCacheEntries {
+			// Coarse bound: mining is tens of milliseconds, so dropping the
+			// whole cache is cheaper than bookkeeping an LRU here, and it
+			// releases the model references old entries pin.
+			clear(s.rulesCache)
+		}
+		s.rulesCache[key] = rulesEntry{rs: rs, m: m}
+	}
+	s.rulesMu.Unlock()
+	return rs, m, nil
+}
+
+// maxRulesCacheEntries bounds the rules cache; each entry pins the model it
+// was mined against, so the cache must not grow with distinct option sets.
+const maxRulesCacheEntries = 128
+
+// Highlight renders st with the association-rule patterns it exemplifies
+// marked in the view (the paper's Figure 1 UI), returning the rendered view
+// and one rule label per sub-table row (empty when the row exemplifies no
+// rule). Rules are mined (or served from cache) with the given options.
+func (s *Service) Highlight(name string, opt rules.Options, st *core.SubTable) (string, []string, error) {
+	rs, m, err := s.Rules(name, opt)
+	if err != nil {
+		return "", nil, err
+	}
+	hl, perRow := core.Highlight(m.B, rs, st)
+	labels := make([]string, len(perRow))
+	for i, ri := range perRow {
+		if ri >= 0 {
+			labels[i] = rs[ri].Label(m.B)
+		}
+	}
+	return st.View.Render(hl), labels, nil
+}
+
+// rulesKey encodes every mining option unambiguously (%q quotes the target
+// columns, so [\"a\",\"b\"] and [\"a b\"] cannot collide).
+func rulesKey(name string, opt rules.Options) string {
+	return fmt.Sprintf("%s\x00%g|%g|%d|%d|%q|%t|%d|%t",
+		name, opt.MinSupport, opt.MinConfidence, opt.MinRuleSize, opt.MaxItemsetSize,
+		opt.TargetCols, opt.AllSplits, opt.MaxRules, opt.IncludeMissing)
+}
+
+func (s *Service) invalidateRules(name string) {
+	prefix := name + "\x00"
+	s.rulesMu.Lock()
+	s.rulesGen[name]++
+	for k := range s.rulesCache {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.rulesCache, k)
+		}
+	}
+	s.rulesMu.Unlock()
+}

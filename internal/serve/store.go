@@ -1,0 +1,380 @@
+// Package serve is SubTab's concurrent serving layer. The paper's two-phase
+// design makes every display interactive *after* a table's one-off
+// pre-processing; this package amortizes that pre-processing across
+// requests, sessions and process restarts:
+//
+//   - Store is a concurrency-safe model cache: LRU-bounded in memory,
+//     singleflight-deduplicated (N concurrent requests for the same table
+//     trigger exactly one Preprocess) and optionally disk-backed through
+//     package modelio, so evicted or restarted models reload in milliseconds
+//     instead of re-training.
+//   - Service exposes the user-facing operations — select, select-query,
+//     mine-rules, highlight — over named tables.
+//   - NewHandler adapts a Service to an HTTP/JSON API (cmd/subtab-server).
+package serve
+
+import (
+	"container/list"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"subtab/internal/core"
+	"subtab/internal/modelio"
+)
+
+// ErrNotFound is returned for operations on tables the store does not know.
+var ErrNotFound = errors.New("serve: table not found")
+
+// DefaultMaxModels is the default in-memory LRU bound.
+const DefaultMaxModels = 8
+
+// StoreOptions configures a Store.
+type StoreOptions struct {
+	// MaxModels bounds the number of models held in memory (<= 0 uses
+	// DefaultMaxModels). The bound only takes effect when Dir is set:
+	// evicted models survive on disk and reload on demand. A memory-only
+	// store never evicts — the source data is gone after pre-processing, so
+	// eviction would silently unregister tables clients already created.
+	MaxModels int
+	// Dir, when non-empty, persists every cached model to disk via modelio
+	// and serves cache misses from disk before rebuilding. The directory is
+	// created on first use.
+	Dir string
+}
+
+// StoreStats are cumulative counters describing cache behavior.
+type StoreStats struct {
+	Hits      int64 // served from memory
+	DiskLoads int64 // served by loading a persisted model
+	Builds    int64 // served by running the build function (Preprocess)
+	Evictions int64 // models dropped from memory by the LRU bound
+}
+
+// Store is a concurrency-safe, LRU-bounded, disk-backed model cache.
+type Store struct {
+	opt StoreOptions
+
+	mu       sync.Mutex
+	lru      *list.List // of *storeEntry, front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flightCall
+	gen      map[string]uint64      // bumped by Put/Remove; stale flights check it
+	nameMu   map[string]*sync.Mutex // serializes persist+insert per table name
+
+	hits, diskLoads, builds, evictions atomic.Int64
+}
+
+type storeEntry struct {
+	name  string
+	model *core.Model
+}
+
+// flightCall deduplicates concurrent builds of the same table.
+type flightCall struct {
+	done     chan struct{}
+	hasBuild bool // the flight can create the model, not just look it up
+	model    *core.Model
+	err      error
+}
+
+// NewStore returns an empty store.
+func NewStore(opt StoreOptions) *Store {
+	if opt.MaxModels <= 0 {
+		opt.MaxModels = DefaultMaxModels
+	}
+	return &Store{
+		opt:      opt,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flightCall),
+		gen:      make(map[string]uint64),
+		nameMu:   make(map[string]*sync.Mutex),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:      s.hits.Load(),
+		DiskLoads: s.diskLoads.Load(),
+		Builds:    s.builds.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Get returns the cached model for name, consulting memory first and then
+// the disk cache. It returns ErrNotFound when the table is unknown.
+func (s *Store) Get(name string) (*core.Model, error) {
+	return s.GetOrBuild(name, nil)
+}
+
+// GetOrBuild returns the model for name, building it at most once across
+// concurrent callers: requests arriving while a build is in flight wait for
+// that build instead of starting their own (the singleflight pattern). The
+// lookup order is memory, disk (when Dir is set), then build; a nil build
+// turns the final step into ErrNotFound. Successful builds are persisted to
+// disk and inserted into the in-memory LRU.
+func (s *Store) GetOrBuild(name string, build func() (*core.Model, error)) (*core.Model, error) {
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[name]; ok {
+			s.lru.MoveToFront(el)
+			m := el.Value.(*storeEntry).model
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return m, nil
+		}
+		if c, ok := s.inflight[name]; ok {
+			// A flight that cannot build (a plain lookup) must not decide
+			// the fate of a caller that can: wait it out, take a success,
+			// but retry with our own build on its failure.
+			joinable := c.hasBuild || build == nil
+			s.mu.Unlock()
+			<-c.done
+			if joinable || c.err == nil {
+				return c.model, c.err
+			}
+			continue
+		}
+		c := &flightCall{done: make(chan struct{}), hasBuild: build != nil}
+		s.inflight[name] = c
+		startGen := s.gen[name]
+		s.mu.Unlock()
+
+		var built bool
+		c.model, built, c.err = s.miss(name, build)
+		if c.err == nil {
+			c.model, c.err = s.commit(name, c.model, built, startGen)
+		}
+
+		s.mu.Lock()
+		delete(s.inflight, name)
+		s.mu.Unlock()
+		close(c.done)
+		return c.model, c.err
+	}
+}
+
+// commit installs a flight's result unless the table changed generation
+// (Put or Remove) while the flight was running — then the flight's model is
+// stale: whatever the store holds now wins, and nothing is persisted over
+// it. The per-name lock serializes this against concurrent Put/Remove.
+func (s *Store) commit(name string, m *core.Model, built bool, startGen uint64) (*core.Model, error) {
+	nl := s.lockName(name)
+	nl.Lock()
+	defer nl.Unlock()
+	s.mu.Lock()
+	if s.gen[name] != startGen {
+		if el, ok := s.entries[name]; ok {
+			m = el.Value.(*storeEntry).model
+		}
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+	if built && s.opt.Dir != "" {
+		// Persist outside s.mu (file I/O) but under the name lock, so no
+		// replacement can interleave between the write and the insert.
+		if err := s.persist(name, m); err != nil {
+			return nil, fmt.Errorf("serve: persisting model %q: %w", name, err)
+		}
+	}
+	s.mu.Lock()
+	s.insertLocked(name, m)
+	s.mu.Unlock()
+	return m, nil
+}
+
+// miss resolves a cache miss outside the store lock: disk first, then
+// build. built reports that the model came from the build function and
+// still needs persisting.
+func (s *Store) miss(name string, build func() (*core.Model, error)) (*core.Model, bool, error) {
+	if s.opt.Dir != "" {
+		if m, err := modelio.LoadFile(s.path(name)); err == nil {
+			s.diskLoads.Add(1)
+			return m, false, nil
+		}
+		// A missing file is the normal miss; a corrupt one is treated the
+		// same way so the serving layer self-heals by rebuilding over it.
+	}
+	if build == nil {
+		return nil, false, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	m, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	s.builds.Add(1)
+	return m, true, nil
+}
+
+// Put caches (and persists) a ready-made model under name, replacing any
+// previous model with that name. In-flight builds of the same name that
+// finish after a Put discard their result instead of clobbering it.
+func (s *Store) Put(name string, m *core.Model) error {
+	nl := s.lockName(name)
+	nl.Lock()
+	defer nl.Unlock()
+	if s.opt.Dir != "" {
+		if err := s.persist(name, m); err != nil {
+			return fmt.Errorf("serve: persisting model %q: %w", name, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen[name]++
+	s.insertLocked(name, m)
+	return nil
+}
+
+// lockName returns the mutex serializing mutations of one table name.
+func (s *Store) lockName(name string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nl, ok := s.nameMu[name]
+	if !ok {
+		nl = &sync.Mutex{}
+		s.nameMu[name] = nl
+	}
+	return nl
+}
+
+// Contains reports whether name is available in memory or on disk.
+func (s *Store) Contains(name string) bool {
+	s.mu.Lock()
+	_, ok := s.entries[name]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if s.opt.Dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.path(name))
+	return err == nil
+}
+
+// Remove drops name from memory and disk, and invalidates any in-flight
+// build of the name so its result is not resurrected. Removing an unknown
+// name is a no-op.
+func (s *Store) Remove(name string) {
+	nl := s.lockName(name)
+	nl.Lock()
+	defer nl.Unlock()
+	s.mu.Lock()
+	s.gen[name]++
+	if el, ok := s.entries[name]; ok {
+		s.lru.Remove(el)
+		delete(s.entries, name)
+	}
+	s.mu.Unlock()
+	if s.opt.Dir != "" {
+		os.Remove(s.path(name))
+	}
+}
+
+// Names lists every known table: in-memory models in MRU order followed by
+// disk-only models in directory order.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.entries))
+	seen := make(map[string]bool, len(s.entries))
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		n := el.Value.(*storeEntry).name
+		names = append(names, n)
+		seen[n] = true
+	}
+	s.mu.Unlock()
+	if s.opt.Dir == "" {
+		return names
+	}
+	files, err := os.ReadDir(s.opt.Dir)
+	if err != nil {
+		return names
+	}
+	for _, f := range files {
+		base, ok := strings.CutSuffix(f.Name(), modelExt)
+		if !ok {
+			continue
+		}
+		raw, err := hex.DecodeString(base)
+		if err != nil || seen[string(raw)] {
+			continue
+		}
+		names = append(names, string(raw))
+	}
+	return names
+}
+
+// MemoryLen returns the number of models currently held in memory.
+func (s *Store) MemoryLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// insertLocked adds a model to the LRU, evicting from the cold end past
+// MaxModels. Callers hold s.mu.
+func (s *Store) insertLocked(name string, m *core.Model) {
+	if el, ok := s.entries[name]; ok {
+		el.Value.(*storeEntry).model = m
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[name] = s.lru.PushFront(&storeEntry{name: name, model: m})
+	if s.opt.Dir == "" {
+		return // nowhere to reload from: never evict (see StoreOptions)
+	}
+	for len(s.entries) > s.opt.MaxModels {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := s.lru.Remove(back).(*storeEntry)
+		delete(s.entries, ev.name)
+		s.evictions.Add(1)
+	}
+}
+
+// modelExt is the on-disk model file suffix.
+const modelExt = ".subtab"
+
+// path maps a table name to its cache file. Names are hex-encoded so
+// arbitrary user-supplied names (slashes, dots, unicode) cannot escape Dir.
+func (s *Store) path(name string) string {
+	return filepath.Join(s.opt.Dir, hex.EncodeToString([]byte(name))+modelExt)
+}
+
+// persist writes the model file atomically: a temp file in the same
+// directory is renamed over the final path, so concurrent readers never see
+// a half-written model and a crash never corrupts the cache.
+func (s *Store) persist(name string, m *core.Model) error {
+	if err := os.MkdirAll(s.opt.Dir, 0o755); err != nil {
+		return err
+	}
+	final := s.path(name)
+	tmp, err := os.CreateTemp(s.opt.Dir, "tmp-*"+modelExt)
+	if err != nil {
+		return err
+	}
+	if err := modelio.Save(tmp, m); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package word2vec
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -76,6 +77,41 @@ type Model struct {
 
 // Dim returns the embedding dimensionality.
 func (m *Model) Dim() int { return m.dim }
+
+// Tokens returns the trained tokens in dense-index order. The returned slice
+// aliases model memory and must not be mutated.
+func (m *Model) Tokens() []int32 { return m.tokens }
+
+// VectorData returns the input-vector matrix as one flat slice of
+// len(Tokens())*Dim() float32s, row i holding the vector of Tokens()[i]. It
+// aliases model memory and must not be mutated; it exists so the model can be
+// serialized (package modelio).
+func (m *Model) VectorData() []float32 { return m.vecs }
+
+// ContextData returns the output (context) vector matrix in the same layout
+// as VectorData. It aliases model memory and must not be mutated.
+func (m *Model) ContextData() []float32 { return m.ctx }
+
+// Restore rebuilds a trained model from its serialized parts: the token list
+// (dense-index order) and the flat input/output matrices as returned by
+// VectorData/ContextData. The slices are retained, not copied.
+func Restore(dim int, tokens []int32, vecs, ctx []float32) (*Model, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("word2vec: restore: dimension %d must be positive", dim)
+	}
+	if len(vecs) != len(tokens)*dim || len(ctx) != len(tokens)*dim {
+		return nil, fmt.Errorf("word2vec: restore: %d tokens at dim %d need %d floats per matrix, got %d input / %d output",
+			len(tokens), dim, len(tokens)*dim, len(vecs), len(ctx))
+	}
+	m := &Model{dim: dim, vocab: make(map[int32]int32, len(tokens)), tokens: tokens, vecs: vecs, ctx: ctx}
+	for i, tok := range tokens {
+		if _, dup := m.vocab[tok]; dup {
+			return nil, fmt.Errorf("word2vec: restore: duplicate token %d", tok)
+		}
+		m.vocab[tok] = int32(i)
+	}
+	return m, nil
+}
 
 // VocabSize returns the number of distinct tokens.
 func (m *Model) VocabSize() int { return len(m.tokens) }

@@ -27,6 +27,20 @@
 //	q := &subtab.Query{Where: []subtab.Predicate{{Col: "CANCELLED", Op: subtab.Eq, Num: 1}}}
 //	st, err := model.SelectQuery(q, 10, 10, nil)
 //
+// Pre-processing is the expensive phase, so models persist: SaveModel and
+// LoadModel round-trip a pre-processed model through a versioned binary
+// format (everything Select needs, embeddings and the column-affinity matrix
+// included), and a loaded model produces identical selections without
+// re-running Preprocess:
+//
+//	_ = subtab.SaveModelFile("flights.subtab", model)
+//	model, err := subtab.LoadModelFile("flights.subtab")  // milliseconds, not minutes
+//
+// For serving many users over the same tables, cmd/subtab-server exposes
+// upload/select/query/rules as an HTTP/JSON API on top of internal/serve,
+// whose model store is LRU-bounded in memory, deduplicates concurrent
+// pre-processing runs, and spills to disk using this same format.
+//
 // The packages behind this facade also implement the paper's evaluation
 // stack: the informativeness metrics (Defs. 3.6–3.7), an Apriori rule miner,
 // the greedy/semi-greedy Algorithm 1, and the RAN/NC/MAB/EmbDI baselines of
@@ -42,6 +56,7 @@ import (
 	"subtab/internal/corpus"
 	"subtab/internal/datagen"
 	"subtab/internal/metrics"
+	"subtab/internal/modelio"
 	"subtab/internal/query"
 	"subtab/internal/rules"
 	"subtab/internal/table"
@@ -160,6 +175,23 @@ type SubTable = core.SubTable
 // a table. Run once per table; every subsequent Select/SelectQuery reuses
 // the result.
 func Preprocess(t *Table, opt Options) (*Model, error) { return core.Preprocess(t, opt) }
+
+// SaveModel writes a pre-processed model to w in SubTab's versioned binary
+// format. Everything Select/SelectQuery needs is serialized — table, binned
+// representation, embedding vectors and the precomputed column-affinity
+// matrix — so LoadModel restores the model without re-running Preprocess.
+func SaveModel(w io.Writer, m *Model) error { return modelio.Save(w, m) }
+
+// LoadModel reads a model written by SaveModel. The loaded model produces
+// selections identical to the model that was saved (same seeds). Corrupt or
+// truncated input and unknown format versions return errors.
+func LoadModel(r io.Reader) (*Model, error) { return modelio.Load(r) }
+
+// SaveModelFile writes a pre-processed model to path.
+func SaveModelFile(path string, m *Model) error { return modelio.SaveFile(path, m) }
+
+// LoadModelFile reads a model written by SaveModelFile.
+func LoadModelFile(path string) (*Model, error) { return modelio.LoadFile(path) }
 
 // Rule is a mined association rule over binned items.
 type Rule = rules.Rule

@@ -1,6 +1,8 @@
 package subtab_test
 
 import (
+	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -70,6 +72,53 @@ func TestPublicAPIPipeline(t *testing.T) {
 	}
 	if len(nc.ST.Rows) == 0 {
 		t.Fatal("NC empty")
+	}
+}
+
+// TestPublicAPISaveLoad verifies the persistence contract at the facade
+// level: a saved-then-loaded model selects identically without re-running
+// pre-processing.
+func TestPublicAPISaveLoad(t *testing.T) {
+	ds, err := subtab.GenerateDataset("FL", 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := subtab.DefaultOptions()
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 2, Workers: 1}
+	model, err := subtab.Preprocess(ds.T, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := subtab.SaveModel(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := subtab.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.Select(6, 4, ds.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Select(6, 4, ds.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.View.String() != got.View.String() {
+		t.Fatalf("selection diverged after save/load:\nsaved:\n%sloaded:\n%s", want.View, got.View)
+	}
+
+	path := filepath.Join(t.TempDir(), "fl.subtab")
+	if err := subtab.SaveModelFile(path, model); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := subtab.LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.T.NumRows() != model.T.NumRows() {
+		t.Fatalf("file round-trip rows = %d, want %d", fromFile.T.NumRows(), model.T.NumRows())
 	}
 }
 
