@@ -14,6 +14,7 @@ import (
 	"subtab/internal/corpus"
 	"subtab/internal/datagen"
 	"subtab/internal/experiments"
+	"subtab/internal/f32"
 	"subtab/internal/metrics"
 	"subtab/internal/rules"
 	"subtab/internal/word2vec"
@@ -199,26 +200,42 @@ func BenchmarkWord2VecTraining(b *testing.B) {
 	}
 }
 
-// BenchmarkKMeansRows measures clustering 3000 row vectors into 10 clusters.
-func BenchmarkKMeansRows(b *testing.B) {
-	bn := benchBinned(b, 3000)
+// benchRowMatrix builds the flat row-vector matrix the Select path feeds to
+// k-means: one mean-pooled tuple-vector per row.
+func benchRowMatrix(b *testing.B, n int) f32.Matrix {
+	b.Helper()
+	bn := benchBinned(b, n)
 	sents := corpus.Build(bn, corpus.Options{MaxSentences: 100_000, TupleSentences: true, Seed: 1})
 	model := word2vec.Train(sents, word2vec.Options{Dim: 24, Epochs: 2, Seed: 1})
-	points := make([][]float32, bn.NumRows())
-	for r := range points {
-		v := make([]float32, model.Dim())
+	pts := f32.New(bn.NumRows(), model.Dim())
+	for r := 0; r < bn.NumRows(); r++ {
+		v := pts.Row(r)
 		for c := 0; c < bn.NumCols(); c++ {
 			if cv := model.Vector(bn.Item(c, r)); cv != nil {
-				for d := range v {
-					v[d] += cv[d]
-				}
+				f32.Add(v, cv)
 			}
 		}
-		points[r] = v
 	}
+	return pts
+}
+
+// BenchmarkKMeansRows measures clustering 3000 row vectors into 10 clusters
+// through the flat-matrix path Select uses.
+func BenchmarkKMeansRows(b *testing.B) {
+	pts := benchRowMatrix(b, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.KMeans(points, 10, cluster.Options{Seed: 1})
+		cluster.KMeansMatrix(pts, 10, cluster.Options{Seed: 1})
+	}
+}
+
+// BenchmarkKMeansRowsSliceAPI measures the same clustering through the
+// slice-of-slices compatibility wrapper (the packing cost is the delta).
+func BenchmarkKMeansRowsSliceAPI(b *testing.B) {
+	rows := benchRowMatrix(b, 3000).Rows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.KMeans(rows, 10, cluster.Options{Seed: 1})
 	}
 }
 

@@ -1,0 +1,216 @@
+// Command subtab-bench seeds and extends the repository's performance
+// trajectory: it runs the key pipeline benchmarks (Fig. 9 preprocess and
+// selection, k-means over row vectors, and the serving layer's cold / disk /
+// warm paths) in-process via testing.Benchmark and merges the results into a
+// JSON file under a label, so successive PRs can record before/after numbers
+// measured by the exact same harness:
+//
+//	subtab-bench -label baseline -out BENCH_PR2.json   # before a change
+//	subtab-bench -label current  -out BENCH_PR2.json   # after
+//
+// The file maps label -> benchmark -> {ns_per_op, bytes_per_op,
+// allocs_per_op, n}; existing labels other than the one being written are
+// preserved.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subtab"
+	"subtab/internal/cluster"
+	"subtab/internal/datagen"
+	"subtab/internal/f32"
+	"subtab/internal/modelio"
+	"subtab/internal/serve"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"n"`
+}
+
+func record(r testing.BenchmarkResult) entry {
+	return entry{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		N:           r.N,
+	}
+}
+
+func pipelineOptions() subtab.Options {
+	opt := subtab.DefaultOptions()
+	opt.Bins.Seed = 1
+	opt.Corpus.Seed = 1
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 24, Epochs: 3, Seed: 1}
+	opt.ClusterSeed = 1
+	return opt
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subtab-bench: ")
+	var (
+		out   = flag.String("out", "BENCH_PR2.json", "JSON file to merge results into")
+		label = flag.String("label", "current", "label to record results under")
+	)
+	flag.Parse()
+
+	ds, err := datagen.ByName("FL", 3000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := pipelineOptions()
+	model, err := subtab.Preprocess(ds.T, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := map[string]entry{}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results[name] = record(r)
+		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
+			name, results[name].NsPerOp, results[name].BytesPerOp, results[name].AllocsPerOp, r.N)
+	}
+
+	// Fig. 9: the one-off pre-processing cost vs the per-display cost — the
+	// paper's interactivity claim, and this repo's headline hot path.
+	run("Fig9Preprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := subtab.Preprocess(ds.T, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("Fig9Selection", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Select(10, 10, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// K-means over the table's row vectors (flat-matrix path, as Select
+	// invokes it). Setup stays outside the closure: testing.Benchmark
+	// re-invokes it for every b.N sizing round.
+	pts := rowVectorMatrix()
+	run("KMeansRows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cluster.KMeansMatrix(pts, 10, cluster.Options{Seed: 1})
+		}
+	})
+
+	// Serving layer: cold (preprocess per request), disk restore, and warm
+	// steady state.
+	serveTable := func() *subtab.Table {
+		d, err := datagen.ByName("FL", 2000, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d.T
+	}
+	coldTable := serveTable()
+	run("ServeColdPreprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := subtab.Preprocess(coldTable, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Select(10, 5, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	diskModel, err := subtab.Preprocess(serveTable(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "subtab-bench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	diskPath := filepath.Join(dir, "bench.subtab")
+	if err := modelio.SaveFile(diskPath, diskModel); err != nil {
+		log.Fatal(err)
+	}
+	run("ServeDiskLoadSelect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loaded, err := modelio.LoadFile(diskPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := loaded.Select(10, 5, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	svc := serve.NewService(serve.NewStore(serve.StoreOptions{}), opt)
+	if _, err := svc.AddTable("bench", serveTable(), nil, false); err != nil {
+		log.Fatal(err)
+	}
+	run("ServeWarmSelect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Select("bench", nil, 10, 5, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	merged := map[string]map[string]entry{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			log.Fatalf("existing %s is not a bench file: %v", *out, err)
+		}
+	}
+	merged[*label] = results
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %q results to %s", *label, *out)
+}
+
+// rowVectorMatrix reproduces the Select path's input: one mean-pooled
+// tuple-vector per row, in one contiguous matrix.
+func rowVectorMatrix() f32.Matrix {
+	ds, err := datagen.ByName("FL", 3000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bn, err := subtab.Preprocess(ds.T, func() subtab.Options {
+		o := pipelineOptions()
+		o.Embedding.Epochs = 2
+		return o
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols := make([]int, ds.T.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	pts := f32.New(ds.T.NumRows(), bn.Emb.Dim())
+	for r := 0; r < ds.T.NumRows(); r++ {
+		copy(pts.Row(r), bn.RowVector(r, cols))
+	}
+	return pts
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,14 +54,15 @@ func main() {
 		maxModels = flag.Int("max-models", serve.DefaultMaxModels, "models kept in memory (LRU; effective only with -cache-dir, memory-only stores never evict)")
 		seed      = flag.Int64("seed", 1, "default pipeline seed for uploaded tables")
 		timeout   = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown grace period")
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profile serving hot spots in place)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *maxModels, *seed, *timeout, flag.Args()); err != nil {
+	if err := run(*addr, *cacheDir, *maxModels, *seed, *timeout, *withPprof, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, cacheDir string, maxModels int, seed int64, timeout time.Duration, preload []string) error {
+func run(addr, cacheDir string, maxModels int, seed int64, timeout time.Duration, withPprof bool, preload []string) error {
 	opt := subtab.DefaultOptions()
 	opt.Bins.Seed = seed
 	opt.Corpus.Seed = seed
@@ -95,9 +97,24 @@ func run(addr, cacheDir string, maxModels int, seed int64, timeout time.Duration
 			name, m.T.NumRows(), m.T.NumCols(), time.Since(start).Round(time.Millisecond))
 	}
 
+	var handler http.Handler = serve.NewHandler(svc, log.Default())
+	if withPprof {
+		// The profiling endpoints share the API listener so a warm serving
+		// process can be profiled exactly as deployed; they are off by
+		// default because they expose stacks and heap contents.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof endpoints enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           serve.NewHandler(svc, log.Default()),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

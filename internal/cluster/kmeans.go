@@ -3,12 +3,22 @@
 // It is the selection engine of Algorithm 2: row vectors and column vectors
 // are clustered and the points nearest each centroid become the sub-table's
 // rows and columns (the paper uses sklearn's KMeans for this).
+//
+// The native input is a contiguous f32.Matrix (KMeansMatrix); the
+// slice-of-slices KMeans entry point packs and delegates. The assignment
+// step — the O(n·k·dim) bulk of every Lloyd iteration — runs across workers
+// and prunes distance computations that provably cannot win, while the
+// centroid-update step stays serial: its float accumulation order is part of
+// the determinism contract, so results are bit-identical to the serial
+// implementation at any worker count.
 package cluster
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"subtab/internal/f32"
 )
 
 // Options configures k-means.
@@ -19,6 +29,9 @@ type Options struct {
 	Seed int64
 	// Tolerance stops early when centroids move less than this (default 1e-4).
 	Tolerance float64
+	// Workers bounds the parallelism of the assignment step (default
+	// GOMAXPROCS). Results are identical at any setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -35,51 +48,81 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	K          int
 	Assign     []int       // point index -> cluster
-	Centers    [][]float32 // k centroids
+	Centers    [][]float32 // k centroids (views into one contiguous slab)
 	Sizes      []int       // points per cluster
 	Iterations int
 }
 
-// KMeans clusters points into k clusters. Points must share one dimension.
-// When k >= len(points) every point becomes its own cluster.
+// KMeans clusters slice-of-slices points by packing them into a flat matrix
+// and delegating to KMeansMatrix. Points must share one dimension.
 func KMeans(points [][]float32, k int, opt Options) *Result {
+	return KMeansMatrix(f32.FromRows(points), k, opt)
+}
+
+// KMeansMatrix clusters the rows of pts into k clusters. When
+// k >= pts.R every point becomes its own cluster.
+func KMeansMatrix(pts f32.Matrix, k int, opt Options) *Result {
 	opt = opt.withDefaults()
-	n := len(points)
+	n := pts.R
 	if n == 0 || k <= 0 {
 		return &Result{K: 0}
 	}
 	if k >= n {
-		res := &Result{K: n, Assign: make([]int, n), Centers: make([][]float32, n), Sizes: make([]int, n)}
-		for i, p := range points {
+		centers := f32.New(n, pts.C)
+		copy(centers.Data, pts.Data)
+		res := &Result{K: n, Assign: make([]int, n), Centers: centers.Rows(), Sizes: make([]int, n)}
+		for i := 0; i < n; i++ {
 			res.Assign[i] = i
-			res.Centers[i] = append([]float32(nil), p...)
 			res.Sizes[i] = 1
 		}
 		return res
 	}
-	dim := len(points[0])
+	dim := pts.C
 	rng := rand.New(rand.NewSource(opt.Seed))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = f32.Workers(n)
+	}
 
-	centers := seedPlusPlus(points, k, rng)
+	centers := seedPlusPlus(pts, k, rng, workers)
 	assign := make([]int, n)
 	sizes := make([]int, k)
+	next := f32.New(k, dim)
+	counts := make([]int, k)
 
 	iter := 0
 	for ; iter < opt.MaxIter; iter++ {
-		// Assignment step.
-		for i := range sizes {
-			sizes[i] = 0
-		}
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, ctr := range centers {
-				d := sqDist(p, ctr)
-				if d < bestD {
-					best, bestD = c, d
+		// Assignment step: every point's nearest center is independent, so
+		// the row range fans out across workers. Each scan is seeded with
+		// the point's previous center (points rarely migrate, so that bound
+		// is usually the final one and every other center aborts within a
+		// few components). Equivalence to the plain index-order scan: a
+		// center achieving the true minimum has all prefix sums <= the
+		// incumbent bound, so SqDistBounded returns its exact distance, and
+		// the explicit lowest-index tie-break reproduces the serial scan's
+		// first-wins behaviour even on exact float ties (duplicate rows).
+		f32.ParallelRange(n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				p := pts.Row(i)
+				best := assign[i]
+				bestD := f32.SqDist(p, centers.Row(best))
+				for c := 0; c < k; c++ {
+					if c == best {
+						continue
+					}
+					d := f32.SqDistBounded(p, centers.Row(c), bestD)
+					if d < bestD || (d == bestD && c < best) {
+						best, bestD = c, d
+					}
 				}
+				assign[i] = best
 			}
-			assign[i] = best
-			sizes[best]++
+		})
+		for c := range sizes {
+			sizes[c] = 0
+		}
+		for _, c := range assign {
+			sizes[c]++
 		}
 		// Empty-cluster repair: seize the point farthest from its center.
 		for c := 0; c < k; c++ {
@@ -87,11 +130,11 @@ func KMeans(points [][]float32, k int, opt Options) *Result {
 				continue
 			}
 			far, farD := -1, -1.0
-			for i, p := range points {
+			for i := 0; i < n; i++ {
 				if sizes[assign[i]] <= 1 {
 					continue
 				}
-				d := sqDist(p, centers[assign[i]])
+				d := f32.SqDist(pts.Row(i), centers.Row(assign[i]))
 				if d > farD {
 					far, farD = i, d
 				}
@@ -102,44 +145,38 @@ func KMeans(points [][]float32, k int, opt Options) *Result {
 				sizes[c] = 1
 			}
 		}
-		// Update step.
-		next := make([][]float32, k)
-		for c := range next {
-			next[c] = make([]float32, dim)
+		// Update step, serial: summing points in index order is part of the
+		// bit-determinism contract (float addition is not associative).
+		f32.Zero(next.Data)
+		for c := range counts {
+			counts[c] = 0
 		}
-		counts := make([]int, k)
-		for i, p := range points {
+		for i := 0; i < n; i++ {
 			c := assign[i]
 			counts[c]++
-			for d := 0; d < dim; d++ {
-				next[c][d] += p[d]
-			}
+			f32.Add(next.Row(c), pts.Row(i))
 		}
 		moved := 0.0
 		for c := 0; c < k; c++ {
 			if counts[c] == 0 {
 				continue
 			}
-			inv := 1 / float32(counts[c])
-			for d := 0; d < dim; d++ {
-				next[c][d] *= inv
-			}
-			moved += math.Sqrt(sqDist(next[c], centers[c]))
-			centers[c] = next[c]
+			f32.Scale(1/float32(counts[c]), next.Row(c))
+			moved += math.Sqrt(f32.SqDist(next.Row(c), centers.Row(c)))
+			copy(centers.Row(c), next.Row(c))
 		}
 		if moved < opt.Tolerance {
 			iter++
 			break
 		}
 	}
-	copy(sizes, make([]int, k))
-	for i := range sizes {
-		sizes[i] = 0
+	for c := range sizes {
+		sizes[c] = 0
 	}
 	for _, c := range assign {
 		sizes[c]++
 	}
-	return &Result{K: k, Assign: assign, Centers: centers, Sizes: sizes, Iterations: iter}
+	return &Result{K: k, Assign: assign, Centers: centers.Rows(), Sizes: sizes, Iterations: iter}
 }
 
 // Representatives returns, for each cluster, the index of the point nearest
@@ -147,8 +184,22 @@ func KMeans(points [][]float32, k int, opt Options) *Result {
 // ordered by descending size so that callers taking a prefix favour the
 // dominant patterns; empty clusters are skipped.
 func (r *Result) Representatives(points [][]float32) []int {
+	return r.RepresentativesMatrix(f32.FromRows(points))
+}
+
+// RepresentativesMatrix is Representatives over a flat matrix (no packing).
+// The per-cluster nearest-point scan fans out in chunks whose partial argmins
+// merge in chunk order (MapReduceOrdered): within a chunk the ascending scan
+// keeps the first achiever of each minimum, and the ordered strict-less merge
+// keeps the earliest chunk's — so the winner is the lowest-indexed
+// min-achiever, exactly as in a serial scan, at any worker count.
+func (r *Result) RepresentativesMatrix(pts f32.Matrix) []int {
 	if r.K == 0 {
 		return nil
+	}
+	type partial struct {
+		best  []int
+		bestD []float64
 	}
 	best := make([]int, r.K)
 	bestD := make([]float64, r.K)
@@ -156,13 +207,27 @@ func (r *Result) Representatives(points [][]float32) []int {
 		best[c] = -1
 		bestD[c] = math.Inf(1)
 	}
-	for i, p := range points {
-		c := r.Assign[i]
-		d := sqDist(p, r.Centers[c])
-		if d < bestD[c] {
-			best[c], bestD[c] = i, d
+	f32.MapReduceOrdered(pts.R, f32.Workers(pts.R), func(start, end int) partial {
+		p := partial{best: make([]int, r.K), bestD: make([]float64, r.K)}
+		for c := range p.best {
+			p.best[c] = -1
+			p.bestD[c] = math.Inf(1)
 		}
-	}
+		for i := start; i < end; i++ {
+			c := r.Assign[i]
+			d := f32.SqDistBounded(pts.Row(i), r.Centers[c], p.bestD[c])
+			if d < p.bestD[c] {
+				p.best[c], p.bestD[c] = i, d
+			}
+		}
+		return p
+	}, func(p partial) {
+		for c := range best {
+			if p.best[c] >= 0 && p.bestD[c] < bestD[c] {
+				best[c], bestD[c] = p.best[c], p.bestD[c]
+			}
+		}
+	})
 	// Order clusters by size (desc), stable by cluster id.
 	order := make([]int, r.K)
 	for i := range order {
@@ -203,7 +268,7 @@ func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
 	cands := make([][]cand, r.K)
 	for i, p := range points {
 		c := r.Assign[i]
-		cands[c] = append(cands[c], cand{i, sqDist(p, r.Centers[c])})
+		cands[c] = append(cands[c], cand{i, f32.SqDist(p, r.Centers[c])})
 	}
 	for c := range cands {
 		sort.Slice(cands[c], func(x, y int) bool { return cands[c][x].d < cands[c][y].d })
@@ -230,7 +295,7 @@ func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
 		for _, cd := range cands[c] {
 			minD := math.Inf(1)
 			for _, sel := range out {
-				if d := sqDist(points[cd.idx], points[sel]); d < minD {
+				if d := f32.SqDist(points[cd.idx], points[sel]); d < minD {
 					minD = d
 				}
 			}
@@ -251,17 +316,22 @@ func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
 	return out
 }
 
-// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
-func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
-	n := len(points)
-	centers := make([][]float32, 0, k)
-	first := points[rng.Intn(n)]
-	centers = append(centers, append([]float32(nil), first...))
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting. The
+// rng draws and the D² accumulation stay serial (their order is part of the
+// determinism contract); the per-point distance refreshes fan out across
+// workers with disjoint writes.
+func seedPlusPlus(pts f32.Matrix, k int, rng *rand.Rand, workers int) f32.Matrix {
+	n := pts.R
+	centers := f32.New(k, pts.C)
+	copy(centers.Row(0), pts.Row(rng.Intn(n)))
 	dists := make([]float64, n)
-	for i, p := range points {
-		dists[i] = sqDist(p, centers[0])
-	}
-	for len(centers) < k {
+	first := centers.Row(0)
+	f32.ParallelRange(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			dists[i] = f32.SqDist(pts.Row(i), first)
+		}
+	})
+	for m := 1; m < k; m++ {
 		total := 0.0
 		for _, d := range dists {
 			total += d
@@ -281,25 +351,22 @@ func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
 				}
 			}
 		}
-		c := append([]float32(nil), points[idx]...)
-		centers = append(centers, c)
-		for i, p := range points {
-			if d := sqDist(p, c); d < dists[i] {
-				dists[i] = d
+		c := centers.Row(m)
+		copy(c, pts.Row(idx))
+		f32.ParallelRange(n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				if d := f32.SqDistBounded(pts.Row(i), c, dists[i]); d < dists[i] {
+					dists[i] = d
+				}
 			}
-		}
+		})
 	}
 	return centers
 }
 
-func sqDist(a, b []float32) float64 {
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return s
-}
+// sqDist returns the squared Euclidean distance (kept for in-package
+// callers; the implementation lives in the f32 kernel set).
+func sqDist(a, b []float32) float64 { return f32.SqDist(a, b) }
 
 // Inertia returns the total within-cluster squared distance — the k-means
 // objective, useful for tests and ablations.
@@ -309,7 +376,7 @@ func (r *Result) Inertia(points [][]float32) float64 {
 	}
 	s := 0.0
 	for i, p := range points {
-		s += sqDist(p, r.Centers[r.Assign[i]])
+		s += f32.SqDist(p, r.Centers[r.Assign[i]])
 	}
 	return s
 }

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"subtab/internal/binning"
 	"subtab/internal/cluster"
 	"subtab/internal/corpus"
+	"subtab/internal/f32"
 	"subtab/internal/metrics"
 	"subtab/internal/query"
 	"subtab/internal/rules"
@@ -80,14 +82,35 @@ type Model struct {
 	Emb *word2vec.Model
 	Opt Options
 
-	// itemVecs[item] is the embedding of the item, or nil when the item never
-	// appeared in the training corpus.
-	itemVecs [][]float32
+	// items is a zero-copy view of the embedding's input-vector table;
+	// itemRow[item] is the matrix row holding the item's vector, or -1 when
+	// the item never appeared in the training corpus.
+	items   f32.Matrix
+	itemRow []int32
 
-	// colAffinity[u][w] is the global association affinity between columns,
-	// computed once at pre-processing time from the embedding (symmetrized,
-	// frequency-weighted best bin match) and reused by every selection.
-	colAffinity [][]float64
+	// colAffinity is the flat mc×mc global association-affinity matrix
+	// (entry [u*mc+w]), computed once at pre-processing time from the
+	// embedding (symmetrized, frequency-weighted best bin match) and reused
+	// by every selection.
+	colAffinity []float64
+
+	// fullVecs caches the tuple-vectors of every row over all columns
+	// (built lazily on the first selection that needs them). Full-table
+	// displays — the warm serving steady state — reuse the matrix directly,
+	// and row-subset selections over the full column set copy rows out of
+	// it, because a tuple-vector depends only on the column set.
+	fullVecsOnce sync.Once
+	fullVecs     f32.Matrix
+}
+
+// indexItems builds the item-id → embedding-row index over the zero-copy
+// vector matrix.
+func (m *Model) indexItems() {
+	m.items = m.Emb.VectorMatrix()
+	m.itemRow = make([]int32, m.B.NumItems())
+	for item := range m.itemRow {
+		m.itemRow[item] = m.Emb.Index(int32(item))
+	}
 }
 
 // Preprocess runs the pre-processing phase of Algorithm 2 on table t.
@@ -99,71 +122,73 @@ func Preprocess(t *table.Table, opt Options) (*Model, error) {
 	sents := corpus.Build(b, opt.Corpus)
 	emb := word2vec.Train(sents, opt.Embedding)
 	m := &Model{T: t, B: b, Emb: emb, Opt: opt}
-	m.itemVecs = make([][]float32, b.NumItems())
-	for item := 0; item < b.NumItems(); item++ {
-		m.itemVecs[item] = emb.Vector(int32(item))
-	}
+	m.indexItems()
 	m.computeColumnAffinities()
 	return m, nil
 }
 
 // Restore rebuilds a pre-processed model from its serialized parts (package
-// modelio) without re-running Preprocess. colAffinity must be the matrix
-// previously obtained from AffinityMatrix; passing nil recomputes it (the
-// only expensive step of restoration).
-func Restore(t *table.Table, b *binning.Binned, emb *word2vec.Model, opt Options, colAffinity [][]float64) (*Model, error) {
+// modelio) without re-running Preprocess. colAffinity must be the flat
+// matrix previously obtained from AffinityData; passing nil recomputes it
+// (the only expensive step of restoration).
+func Restore(t *table.Table, b *binning.Binned, emb *word2vec.Model, opt Options, colAffinity []float64) (*Model, error) {
 	if b.T != t {
 		return nil, fmt.Errorf("core: restore: binned representation does not wrap the given table")
 	}
 	m := &Model{T: t, B: b, Emb: emb, Opt: opt}
-	m.itemVecs = make([][]float32, b.NumItems())
-	for item := 0; item < b.NumItems(); item++ {
-		m.itemVecs[item] = emb.Vector(int32(item))
-	}
+	m.indexItems()
 	if colAffinity == nil {
 		m.computeColumnAffinities()
 		return m, nil
 	}
 	mc := t.NumCols()
-	if len(colAffinity) != mc {
-		return nil, fmt.Errorf("core: restore: affinity matrix has %d rows, table has %d columns", len(colAffinity), mc)
-	}
-	for i, row := range colAffinity {
-		if len(row) != mc {
-			return nil, fmt.Errorf("core: restore: affinity row %d has %d entries, want %d", i, len(row), mc)
-		}
+	if len(colAffinity) != mc*mc {
+		return nil, fmt.Errorf("core: restore: affinity matrix has %d entries, table with %d columns needs %d", len(colAffinity), mc, mc*mc)
 	}
 	m.colAffinity = colAffinity
 	return m, nil
 }
 
-// AffinityMatrix returns the precomputed column-affinity matrix, indexed by
-// original column position. The returned slices alias model memory and must
-// not be mutated; they exist so the model can be serialized (package
-// modelio) and restored without re-running the affinity computation.
-func (m *Model) AffinityMatrix() [][]float64 { return m.colAffinity }
+// AffinityData returns the precomputed column-affinity matrix as one flat
+// row-major slice (entry [u*NumCols+w]). It aliases model memory and must
+// not be mutated; it exists so the model can be serialized (package modelio)
+// and restored without re-running the affinity computation.
+func (m *Model) AffinityData() []float64 { return m.colAffinity }
+
+// AffinityMatrix returns the column-affinity matrix as per-row views into
+// the flat data, indexed by original column position. The rows alias model
+// memory and must not be mutated.
+func (m *Model) AffinityMatrix() [][]float64 {
+	mc := m.T.NumCols()
+	out := make([][]float64, mc)
+	for i := range out {
+		out[i] = m.colAffinity[i*mc : (i+1)*mc : (i+1)*mc]
+	}
+	return out
+}
 
 // computeColumnAffinities fills the global pairwise column-affinity matrix.
+// Every (i,j) pair is independent and writes disjoint cells, so the upper
+// triangle fans out across workers (dynamically scheduled — row i of the
+// triangle costs O(mc−i)) with bit-identical results at any worker count.
 func (m *Model) computeColumnAffinities() {
 	mc := m.T.NumCols()
 	allRows := make([]int, m.T.NumRows())
 	for i := range allRows {
 		allRows[i] = i
 	}
+	workers := f32.Workers(mc)
 	freqs := make([][]float64, mc)
-	for c := 0; c < mc; c++ {
+	f32.ParallelIndex(mc, workers, func(c int) {
 		freqs[c] = m.binFrequencies(c, allRows)
-	}
-	m.colAffinity = make([][]float64, mc)
-	for i := range m.colAffinity {
-		m.colAffinity[i] = make([]float64, mc)
-	}
-	for i := 0; i < mc; i++ {
+	})
+	m.colAffinity = make([]float64, mc*mc)
+	f32.ParallelIndex(mc, workers, func(i int) {
 		for j := i + 1; j < mc; j++ {
 			a := (m.directedAffinity(i, j, freqs[i]) + m.directedAffinity(j, i, freqs[j])) / 2
-			m.colAffinity[i][j], m.colAffinity[j][i] = a, a
+			m.colAffinity[i*mc+j], m.colAffinity[j*mc+i] = a, a
 		}
-	}
+	})
 }
 
 // ColumnAffinity returns the global association affinity of two columns.
@@ -171,63 +196,54 @@ func (m *Model) ColumnAffinity(u, w int) float64 {
 	if u == w {
 		return 0
 	}
-	return m.colAffinity[u][w]
+	return m.colAffinity[u*m.T.NumCols()+w]
 }
 
 // ItemVector returns the embedding of a global item id (nil when unseen).
+// The returned slice is a view into the embedding matrix.
 func (m *Model) ItemVector(item int32) []float32 {
-	if item < 0 || int(item) >= len(m.itemVecs) {
+	if item < 0 || int(item) >= len(m.itemRow) {
 		return nil
 	}
-	return m.itemVecs[item]
+	row := m.itemRow[item]
+	if row < 0 {
+		return nil
+	}
+	return m.items.Row(int(row))
 }
 
 // RowVector computes the tuple-vector of source row r over the given column
 // indices: the component-wise average of its cell vectors (Alg. 2 line 9).
 func (m *Model) RowVector(r int, cols []int) []float32 {
 	v := make([]float32, m.Emb.Dim())
-	n := 0
-	for _, c := range cols {
-		cv := m.ItemVector(m.B.Item(c, r))
-		if cv == nil {
-			continue
-		}
-		for d := range v {
-			v[d] += cv[d]
-		}
-		n++
-	}
-	if n > 0 {
-		inv := 1 / float32(n)
-		for d := range v {
-			v[d] *= inv
-		}
-	}
+	m.rowVectorInto(v, r, cols, make([]int32, len(cols)))
 	return v
+}
+
+// rowVectorInto writes row r's tuple-vector into v, using idx (len(cols))
+// as gather scratch.
+func (m *Model) rowVectorInto(v []float32, r int, cols []int, idx []int32) {
+	for j, c := range cols {
+		idx[j] = m.itemRow[m.B.Item(c, r)]
+	}
+	f32.MeanPoolInto(v, m.items, idx)
 }
 
 // ColVector computes the column-vector of column c over the given source
 // rows: the average of its cell vectors (Alg. 2 line 14).
 func (m *Model) ColVector(c int, rows []int) []float32 {
 	v := make([]float32, m.Emb.Dim())
-	n := 0
-	for _, r := range rows {
-		cv := m.ItemVector(m.B.Item(c, r))
-		if cv == nil {
-			continue
-		}
-		for d := range v {
-			v[d] += cv[d]
-		}
-		n++
-	}
-	if n > 0 {
-		inv := 1 / float32(n)
-		for d := range v {
-			v[d] *= inv
-		}
-	}
+	m.colVectorInto(v, c, rows, make([]int32, len(rows)))
 	return v
+}
+
+// colVectorInto writes column c's mean vector into v, using idx (len(rows))
+// as gather scratch.
+func (m *Model) colVectorInto(v []float32, c int, rows []int, idx []int32) {
+	for i, r := range rows {
+		idx[i] = m.itemRow[m.B.Item(c, r)]
+	}
+	f32.MeanPoolInto(v, m.items, idx)
 }
 
 // SubTable is a selected k×l sub-table.
@@ -316,11 +332,38 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTa
 	// Def. 3.7) to the rows already chosen: centrality keeps representatives
 	// typical of their pattern, the Jaccard tie-break keeps the displayed
 	// set diverse.
-	rowVecs := make([][]float32, len(rows))
-	for i, r := range rows {
-		rowVecs[i] = m.RowVector(r, cols)
+	//
+	// All tuple-vectors go into one contiguous matrix. Full-column
+	// selections read the cached full-table matrix (a tuple-vector depends
+	// only on the column set); anything else fills a pooled slab in
+	// parallel — every row writes only its own matrix row, so the fill is
+	// deterministic at any worker count.
+	dim := m.Emb.Dim()
+	var rowVecs f32.Matrix
+	if identityCols(cols, m.T.NumCols()) {
+		full := m.fullRowVectors()
+		if len(rows) == m.T.NumRows() && identityRows(rows) {
+			rowVecs = full
+		} else {
+			buf := getVecBuf(len(rows) * dim)
+			defer putVecBuf(buf)
+			rowVecs = f32.Wrap(len(rows), dim, *buf)
+			for i, r := range rows {
+				copy(rowVecs.Row(i), full.Row(r))
+			}
+		}
+	} else {
+		buf := getVecBuf(len(rows) * dim)
+		defer putVecBuf(buf)
+		rowVecs = f32.Wrap(len(rows), dim, *buf)
+		f32.ParallelRange(len(rows), f32.Workers(len(rows)), func(start, end int) {
+			idx := make([]int32, len(cols))
+			for i := start; i < end; i++ {
+				m.rowVectorInto(rowVecs.Row(i), rows[i], cols, idx)
+			}
+		})
 	}
-	rowRes := cluster.KMeans(rowVecs, k, cluster.Options{Seed: m.Opt.ClusterSeed})
+	rowRes := cluster.KMeansMatrix(rowVecs, k, cluster.Options{Seed: m.Opt.ClusterSeed})
 	repIdx := m.diverseRepresentatives(rowRes, rowVecs, rows, cols, 16)
 	selRows := make([]int, 0, len(repIdx))
 	for _, i := range repIdx {
@@ -372,19 +415,30 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTa
 // nearest each cluster's centroid, the one with the lowest average binned
 // Jaccard similarity to the rows already picked. Clusters are visited in
 // descending size order; the first (dominant) cluster contributes its most
-// central member.
-func (m *Model) diverseRepresentatives(res *cluster.Result, vecs [][]float32, rows, cols []int, q int) []int {
+// central member. The per-point centroid distances and the per-candidate
+// Jaccard scans run across workers; each slot is written by exactly one
+// index and the final argmin scan is serial with first-wins ties, so the
+// result is bit-identical to the serial path.
+func (m *Model) diverseRepresentatives(res *cluster.Result, vecs f32.Matrix, rows, cols []int, q int) []int {
 	if res.K == 0 {
 		return nil
 	}
+	n := vecs.R
+	workers := f32.Workers(n)
+	ds := make([]float64, n)
+	f32.ParallelRange(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			ds[i] = f32.SqDist(vecs.Row(i), res.Centers[res.Assign[i]])
+		}
+	})
 	type cand struct {
 		idx int
 		d   float64
 	}
 	cands := make([][]cand, res.K)
-	for i, v := range vecs {
+	for i := 0; i < n; i++ {
 		c := res.Assign[i]
-		cands[c] = append(cands[c], cand{i, sqDist32(v, res.Centers[c])})
+		cands[c] = append(cands[c], cand{i, ds[i]})
 	}
 	for c := range cands {
 		sort.Slice(cands[c], func(x, y int) bool { return cands[c][x].d < cands[c][y].d })
@@ -414,6 +468,7 @@ func (m *Model) diverseRepresentatives(res *cluster.Result, vecs [][]float32, ro
 		}
 		return float64(same) / float64(len(cols))
 	}
+	sims := make([]float64, q)
 	var out []int
 	for _, c := range order {
 		if len(cands[c]) == 0 {
@@ -423,15 +478,18 @@ func (m *Model) diverseRepresentatives(res *cluster.Result, vecs [][]float32, ro
 			out = append(out, cands[c][0].idx)
 			continue
 		}
-		best, bestSim := -1, math.Inf(1)
-		for _, cd := range cands[c] {
+		cs := cands[c]
+		f32.ParallelIndex(len(cs), f32.Workers(len(cs)), func(x int) {
 			sim := 0.0
 			for _, sel := range out {
-				sim += jaccard(rows[cd.idx], rows[sel])
+				sim += jaccard(rows[cs[x].idx], rows[sel])
 			}
-			sim /= float64(len(out))
-			if sim < bestSim {
-				best, bestSim = cd.idx, sim
+			sims[x] = sim / float64(len(out))
+		})
+		best, bestSim := -1, math.Inf(1)
+		for x := range cs {
+			if sims[x] < bestSim {
+				best, bestSim = cs[x].idx, sims[x]
 			}
 		}
 		out = append(out, best)
@@ -439,29 +497,85 @@ func (m *Model) diverseRepresentatives(res *cluster.Result, vecs [][]float32, ro
 	return out
 }
 
-func sqDist32(a, b []float32) float64 {
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return s
-}
-
 // centroidColumns is the literal Algorithm 2 column step: k-means over the
 // column-mean vectors, one representative per cluster.
 func (m *Model) centroidColumns(candCols, rows []int, need int) []int {
-	colVecs := make([][]float32, len(candCols))
-	for i, c := range candCols {
-		colVecs[i] = m.ColVector(c, rows)
-	}
-	colRes := cluster.KMeans(colVecs, need, cluster.Options{Seed: m.Opt.ClusterSeed + 1})
+	colVecs := f32.New(len(candCols), m.Emb.Dim())
+	f32.ParallelRange(len(candCols), f32.Workers(len(candCols)), func(start, end int) {
+		idx := make([]int32, len(rows))
+		for i := start; i < end; i++ {
+			m.colVectorInto(colVecs.Row(i), candCols[i], rows, idx)
+		}
+	})
+	colRes := cluster.KMeansMatrix(colVecs, need, cluster.Options{Seed: m.Opt.ClusterSeed + 1})
 	out := make([]int, 0, need)
-	for _, i := range colRes.Representatives(colVecs) {
+	for _, i := range colRes.RepresentativesMatrix(colVecs) {
 		out = append(out, candCols[i])
 	}
 	return out
 }
+
+// fullRowVectors lazily builds (once per model) the tuple-vector matrix of
+// every row over the full column set, filled in parallel with disjoint
+// per-row writes. The arithmetic per row is exactly rowVectorInto's, so
+// cached vectors are bit-identical to freshly computed ones.
+func (m *Model) fullRowVectors() f32.Matrix {
+	m.fullVecsOnce.Do(func() {
+		n := m.T.NumRows()
+		cols := make([]int, m.T.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+		mat := f32.New(n, m.Emb.Dim())
+		f32.ParallelRange(n, f32.Workers(n), func(start, end int) {
+			idx := make([]int32, len(cols))
+			for r := start; r < end; r++ {
+				m.rowVectorInto(mat.Row(r), r, cols, idx)
+			}
+		})
+		m.fullVecs = mat
+	})
+	return m.fullVecs
+}
+
+// identityCols reports whether cols is exactly 0..mc-1.
+func identityCols(cols []int, mc int) bool {
+	if len(cols) != mc {
+		return false
+	}
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
+}
+
+// identityRows reports whether rows is 0..len(rows)-1.
+func identityRows(rows []int) bool {
+	for i, r := range rows {
+		if r != i {
+			return false
+		}
+	}
+	return true
+}
+
+// vecBufPool recycles the flat tuple-vector slab across Selects: warm
+// serving issues many selections over the same model, and the slab (rows ×
+// dim floats) is by far the largest per-request allocation.
+var vecBufPool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getVecBuf(n int) *[]float32 {
+	buf := vecBufPool.Get().(*[]float32)
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	*buf = (*buf)[:n]
+	return buf
+}
+
+func putVecBuf(buf *[]float32) { vecBufPool.Put(buf) }
 
 // patternGroupColumns groups candidate columns by pairwise association
 // affinity (precomputed globally at pre-processing time) and spends the

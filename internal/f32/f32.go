@@ -1,0 +1,318 @@
+// Package f32 is the flat-vector core of the SubTab compute spine. It
+// provides a contiguous row-major float32 matrix plus the small kernel set
+// the pipeline needs (dot, axpy, scale, squared distance, batched mean-pool)
+// and deterministic parallel iteration helpers.
+//
+// Two properties matter to callers:
+//
+//   - Kernels perform exactly the arithmetic their scalar predecessors did
+//     (same accumulation types, same operand order), so refactoring a caller
+//     onto them cannot change results by even one bit.
+//   - The parallel helpers only hand out disjoint index ranges; combined with
+//     MapReduceOrdered's chunk-order reduction, every parallel computation in
+//     this codebase is order-deterministic — same inputs, same bytes out,
+//     regardless of GOMAXPROCS or scheduling.
+package f32
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Matrix is a dense row-major float32 matrix: row i occupies
+// Data[i*C : (i+1)*C]. A zero Matrix is an empty matrix.
+type Matrix struct {
+	R, C int
+	Data []float32
+}
+
+// New allocates an r×c zero matrix in one contiguous slab.
+func New(r, c int) Matrix {
+	return Matrix{R: r, C: c, Data: make([]float32, r*c)}
+}
+
+// Wrap views an existing flat slice as an r×c matrix without copying.
+// len(data) must be r*c.
+func Wrap(r, c int, data []float32) Matrix {
+	if len(data) != r*c {
+		panic("f32: Wrap: data length does not match dimensions")
+	}
+	return Matrix{R: r, C: c, Data: data}
+}
+
+// FromRows packs a slice-of-slices into one contiguous matrix (copying).
+// All rows must share one length; an empty input yields an empty matrix.
+func FromRows(rows [][]float32) Matrix {
+	if len(rows) == 0 {
+		return Matrix{}
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns the i-th row as a view into the matrix (no copy).
+func (m Matrix) Row(i int) []float32 {
+	return m.Data[i*m.C : (i+1)*m.C : (i+1)*m.C]
+}
+
+// Rows materializes per-row views (headers only; the data is not copied).
+func (m Matrix) Rows() [][]float32 {
+	out := make([][]float32, m.R)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Kernels. Accumulation types are part of the contract: Dot, SqDist and
+// Cosine accumulate in float64 (as the scalar code they replaced did), while
+// Dot32, Axpy, Add and Scale stay in float32 (the word2vec training regime).
+
+// Dot returns the dot product of two equal-length vectors, accumulated in
+// float64.
+func Dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Dot32 returns the dot product accumulated in float32 — the exact
+// arithmetic of the skip-gram inner loop.
+func Dot32(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy adds a*x to y element-wise: y[i] += a * x[i].
+func Axpy(a float32, x, y []float32) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// Add adds x to dst element-wise: dst[i] += x[i].
+func Add(dst, x []float32) {
+	for i := range dst {
+		dst[i] += x[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float32, x []float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Zero clears x.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// SqDist returns the squared Euclidean distance between two equal-length
+// vectors, with per-component widening to float64.
+func SqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// SqDistBounded is SqDist with early exit: it returns as soon as the running
+// sum strictly exceeds bound. Because the running sum is the exact prefix of
+// SqDist's accumulation (same order, same widening) and can only grow, the
+// abort is deterministic and nearest-neighbor scans get exactly the result a
+// full computation would give: a return value > bound guarantees the true
+// distance is > bound, and any return value <= bound IS the exact distance —
+// so even exact ties with the incumbent (d == bound) surface precisely and
+// index-order tie-breaks behave as if every distance had been computed in
+// full.
+func SqDistBounded(a, b []float32, bound float64) float64 {
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		s += d0 * d0
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		s += d1 * d1
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		s += d2 * d2
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s += d3 * d3
+		if s > bound {
+			return s
+		}
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of two vectors (0 for zero vectors).
+func Cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// MeanPoolInto sets dst to the component-wise mean of the selected rows of
+// src, skipping negative indices (the "unseen item" sentinel), and returns
+// how many rows were pooled. dst is zeroed first; when nothing is pooled it
+// stays zero. The accumulation is float32 sums in index order followed by a
+// single multiply by 1/n — bit-identical to the scalar mean loops it
+// replaced.
+func MeanPoolInto(dst []float32, src Matrix, rows []int32) int {
+	Zero(dst)
+	n := 0
+	for _, r := range rows {
+		if r < 0 {
+			continue
+		}
+		Add(dst, src.Row(int(r)))
+		n++
+	}
+	if n > 0 {
+		Scale(1/float32(n), dst)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel iteration.
+
+// Workers returns the effective worker count for n independent work items:
+// min(GOMAXPROCS, n), at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelRange splits [0,n) into one contiguous chunk per worker and runs
+// fn(start, end) concurrently, blocking until all chunks finish. With
+// workers <= 1 (or tiny n) it degenerates to a direct call, so callers need
+// no serial fallback. fn must only write state owned by its own index range.
+func ParallelRange(n, workers int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			fn(start, end)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ParallelIndex runs fn(i) for every i in [0,n) across workers with dynamic
+// (work-stealing) scheduling — the right shape for triangular or otherwise
+// unbalanced loops. fn must only write state owned by index i; under that
+// contract the result is independent of scheduling.
+func ParallelIndex(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapReduceOrdered is a parallel row-map with a deterministic ordered
+// reduction: [0,n) is split into contiguous chunks, mapFn runs on the chunks
+// concurrently, and reduce is called exactly once per chunk in ascending
+// chunk order (chunk 0 first), regardless of which goroutine finishes when.
+// Reductions whose operator is order-sensitive (float sums, argmin with
+// first-wins tie-breaks) therefore produce one fixed result per input.
+func MapReduceOrdered[T any](n, workers int, mapFn func(start, end int) T, reduce func(v T)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		reduce(mapFn(0, n))
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	results := make([]T, nChunks)
+	ParallelRange(n, workers, func(start, end int) {
+		// ParallelRange uses the same chunk arithmetic, so start/chunk
+		// recovers this chunk's index.
+		results[start/chunk] = mapFn(start, end)
+	})
+	for i := 0; i < nChunks; i++ {
+		reduce(results[i])
+	}
+}

@@ -1,0 +1,211 @@
+package f32
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMatrixRowsAndWrap(t *testing.T) {
+	m := New(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	if got := m.Row(1); !reflect.DeepEqual(got, []float32{4, 5, 6, 7}) {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	w := Wrap(3, 4, m.Data)
+	if w.R != 3 || w.C != 4 || &w.Data[0] != &m.Data[0] {
+		t.Fatal("Wrap must alias, not copy")
+	}
+	rows := m.Rows()
+	rows[2][0] = 99
+	if m.Data[8] != 99 {
+		t.Fatal("Rows() must return views into the matrix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wrap with mismatched length must panic")
+		}
+	}()
+	Wrap(2, 3, m.Data)
+}
+
+func TestFromRowsPacks(t *testing.T) {
+	rows := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	m := FromRows(rows)
+	if m.R != 3 || m.C != 2 {
+		t.Fatalf("dims %dx%d", m.R, m.C)
+	}
+	if !reflect.DeepEqual(m.Data, []float32{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("data %v", m.Data)
+	}
+	rows[0][0] = 42
+	if m.Data[0] != 1 {
+		t.Fatal("FromRows must copy")
+	}
+	if e := FromRows(nil); e.R != 0 || e.Data != nil {
+		t.Fatal("empty input must yield an empty matrix")
+	}
+}
+
+// TestKernelsMatchScalar pins the kernels to their scalar definitions,
+// including accumulation types — the refactor's bit-identity contract.
+func TestKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(70)
+		a, b := make([]float32, n), make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		var dot64, sq float64
+		var dot32 float32
+		for i := range a {
+			dot64 += float64(a[i]) * float64(b[i])
+			dot32 += a[i] * b[i]
+			d := float64(a[i]) - float64(b[i])
+			sq += d * d
+		}
+		if got := Dot(a, b); got != dot64 {
+			t.Fatalf("Dot = %v, scalar %v", got, dot64)
+		}
+		if got := Dot32(a, b); got != dot32 {
+			t.Fatalf("Dot32 = %v, scalar %v", got, dot32)
+		}
+		if got := SqDist(a, b); got != sq {
+			t.Fatalf("SqDist = %v, scalar %v", got, sq)
+		}
+		// A completed bounded distance is the exact distance; an aborted one
+		// is a prefix that already proves d >= bound.
+		if got := SqDistBounded(a, b, math.Inf(1)); got != sq {
+			t.Fatalf("SqDistBounded(inf) = %v, want %v", got, sq)
+		}
+		bound := sq / 2
+		if got := SqDistBounded(a, b, bound); got < bound && got != sq {
+			t.Fatalf("aborted SqDistBounded returned %v below bound %v without equalling %v", got, bound, sq)
+		}
+	}
+}
+
+func TestAxpyAddScaleZero(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	Axpy(2, x, y)
+	if !reflect.DeepEqual(y, []float32{12, 24, 36}) {
+		t.Fatalf("Axpy: %v", y)
+	}
+	Add(y, x)
+	if !reflect.DeepEqual(y, []float32{13, 26, 39}) {
+		t.Fatalf("Add: %v", y)
+	}
+	Scale(0.5, y)
+	if !reflect.DeepEqual(y, []float32{6.5, 13, 19.5}) {
+		t.Fatalf("Scale: %v", y)
+	}
+	Zero(y)
+	if !reflect.DeepEqual(y, []float32{0, 0, 0}) {
+		t.Fatalf("Zero: %v", y)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float32{1, 0}, []float32{0, 1}); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine([]float32{2, 0}, []float32{5, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := Cosine([]float32{0, 0}, []float32{1, 1}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestMeanPoolInto(t *testing.T) {
+	src := FromRows([][]float32{{1, 2}, {3, 4}, {5, 10}})
+	dst := []float32{99, 99}
+	n := MeanPoolInto(dst, src, []int32{0, -1, 2})
+	if n != 2 {
+		t.Fatalf("pooled %d rows", n)
+	}
+	if !reflect.DeepEqual(dst, []float32{3, 6}) {
+		t.Fatalf("mean = %v", dst)
+	}
+	if n := MeanPoolInto(dst, src, []int32{-1, -1}); n != 0 || dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("all-unseen pool: n=%d dst=%v", n, dst)
+	}
+}
+
+func TestParallelRangeCoversDisjointly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		n := 101
+		hits := make([]int, n)
+		ParallelRange(n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+	ParallelRange(0, 4, func(int, int) { t.Fatal("n=0 must not call fn") })
+}
+
+func TestParallelIndexCoversDisjointly(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 32} {
+		n := 77
+		hits := make([]int32, n)
+		ParallelIndex(n, workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestMapReduceOrdered verifies the reduction runs in chunk order — the
+// property that makes order-sensitive reductions (float sums, first-wins
+// argmin) deterministic under parallelism.
+func TestMapReduceOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		n := 50
+		var got []int
+		MapReduceOrdered(n, workers, func(start, end int) int { return start }, func(v int) {
+			got = append(got, v)
+		})
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("workers=%d: chunks reduced out of order: %v", workers, got)
+			}
+		}
+		sum := 0
+		MapReduceOrdered(n, workers, func(start, end int) int {
+			s := 0
+			for i := start; i < end; i++ {
+				s += i
+			}
+			return s
+		}, func(v int) { sum += v })
+		if want := n * (n - 1) / 2; sum != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum, want)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d", w)
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Fatalf("Workers(big) = %d", w)
+	}
+}

@@ -38,8 +38,12 @@ import (
 
 // Version is the current model-file format version. It must be bumped
 // whenever the layout of any serialized structure (including the Options
-// structs) changes.
-const Version uint16 = 1
+// structs) changes. Version 2 moved the in-memory endpoints of the codec to
+// the flat-matrix core (embedding and affinity matrices serialize straight
+// from their contiguous backing arrays, with no slice-of-slices staging on
+// either side); the byte layout is unchanged from version 1 apart from the
+// version field itself.
+const Version uint16 = 2
 
 var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
 
@@ -67,7 +71,7 @@ func Save(w io.Writer, m *core.Model) error {
 	writeTable(e, m.T)
 	writeBinned(e, m.B)
 	writeEmbedding(e, m.Emb)
-	writeAffinity(e, m.AffinityMatrix(), m.T.NumCols())
+	writeAffinity(e, m.AffinityData(), m.T.NumCols())
 	if e.err != nil {
 		return e.err
 	}
@@ -104,11 +108,15 @@ func Load(r io.Reader) (*core.Model, error) {
 	if d.err != nil || gotMagic != magic {
 		return nil, ErrBadMagic
 	}
-	if v := d.u16(); d.err != nil || v != Version {
+	// Version 1 files are accepted: the v2 bump only changed the in-memory
+	// endpoints of the codec, not the byte layout, so a PR-1 disk cache
+	// keeps serving (byte-identical selections included) across the
+	// upgrade.
+	if v := d.u16(); d.err != nil || (v != Version && v != 1) {
 		if d.err != nil {
 			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 		}
-		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, Version)
+		return nil, fmt.Errorf("%w: file version %d, this build reads versions 1-%d", ErrVersion, v, Version)
 	}
 	opt := readOptions(d)
 	t := readTable(d)
@@ -395,16 +403,14 @@ func readEmbedding(d *decoder) *word2vec.Model {
 	return m
 }
 
-func writeAffinity(e *encoder, aff [][]float64, nCols int) {
+func writeAffinity(e *encoder, aff []float64, nCols int) {
 	e.u32(uint32(nCols))
-	for _, row := range aff {
-		for _, a := range row {
-			e.f64(a)
-		}
+	for _, a := range aff {
+		e.f64(a)
 	}
 }
 
-func readAffinity(d *decoder, t *table.Table) [][]float64 {
+func readAffinity(d *decoder, t *table.Table) []float64 {
 	n := int(d.u32())
 	if d.err != nil {
 		return nil
@@ -413,14 +419,7 @@ func readAffinity(d *decoder, t *table.Table) [][]float64 {
 		d.fail("affinity matrix for %d columns, table has %d", n, t.NumCols())
 		return nil
 	}
-	aff := make([][]float64, n)
-	for i := range aff {
-		aff[i] = d.f64sN(n)
-		if d.err != nil {
-			return nil
-		}
-	}
-	return aff
+	return d.f64sN(n * n)
 }
 
 // ---------------------------------------------------------------------------

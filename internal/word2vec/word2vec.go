@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"subtab/internal/f32"
 )
 
 // Options configures training.
@@ -92,6 +94,29 @@ func (m *Model) VectorData() []float32 { return m.vecs }
 // as VectorData. It aliases model memory and must not be mutated.
 func (m *Model) ContextData() []float32 { return m.ctx }
 
+// VectorMatrix returns the input-vector table as a zero-copy flat matrix
+// view: row Index(tok) is Vector(tok). It aliases model memory and must not
+// be mutated; it exists so downstream stages (package core) can address the
+// whole embedding table without copying it row by row.
+func (m *Model) VectorMatrix() f32.Matrix {
+	return f32.Wrap(len(m.tokens), m.dim, m.vecs)
+}
+
+// ContextMatrix returns the output (context) vector table as a zero-copy
+// flat matrix view in the same layout as VectorMatrix.
+func (m *Model) ContextMatrix() f32.Matrix {
+	return f32.Wrap(len(m.tokens), m.dim, m.ctx)
+}
+
+// Index returns the dense row index of tok in VectorMatrix/ContextMatrix,
+// or -1 when the token was not seen in training.
+func (m *Model) Index(tok int32) int32 {
+	if i, ok := m.vocab[tok]; ok {
+		return i
+	}
+	return -1
+}
+
 // Restore rebuilds a trained model from its serialized parts: the token list
 // (dense-index order) and the flat input/output matrices as returned by
 // VectorData/ContextData. The slices are retained, not copied.
@@ -158,13 +183,7 @@ func (m *Model) Association(a, b int32) float64 {
 }
 
 // Dot returns the dot product of two equal-length vectors.
-func Dot(a, b []float32) float64 {
-	var s float64
-	for i := range a {
-		s += float64(a[i]) * float64(b[i])
-	}
-	return s
-}
+func Dot(a, b []float32) float64 { return f32.Dot(a, b) }
 
 // Similarity returns the cosine similarity of two tokens (0 when either is
 // unseen or has a zero vector).
@@ -177,18 +196,7 @@ func (m *Model) Similarity(a, b int32) float64 {
 }
 
 // Cosine returns the cosine similarity of two vectors (0 for zero vectors).
-func Cosine(a, b []float32) float64 {
-	var dot, na, nb float64
-	for i := range a {
-		dot += float64(a[i]) * float64(b[i])
-		na += float64(a[i]) * float64(a[i])
-		nb += float64(b[i]) * float64(b[i])
-	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
-}
+func Cosine(a, b []float32) float64 { return f32.Cosine(a, b) }
 
 const (
 	sigTableSize = 1024
@@ -340,19 +348,14 @@ func trainPair(in, out []float32, center, ctx int, opt Options, unigram []int32,
 		}
 		ti := target * dim
 		tv := out[ti : ti+dim]
-		var dot float32
-		for i := 0; i < dim; i++ {
-			dot += cv[i] * tv[i]
-		}
-		g := (label - sigmoid(dot)) * lr
-		for i := 0; i < dim; i++ {
-			grad[i] += g * tv[i]
-			tv[i] += g * cv[i]
-		}
+		g := (label - sigmoid(f32.Dot32(cv, tv))) * lr
+		// grad must accumulate the pre-update context vector: Axpy(g, tv,
+		// grad) reads tv before Axpy(g, cv, tv) writes it, matching the
+		// interleaved scalar loop this replaced bit for bit.
+		f32.Axpy(g, tv, grad)
+		f32.Axpy(g, cv, tv)
 	}
-	for i := 0; i < dim; i++ {
-		cv[i] += grad[i]
-	}
+	f32.Add(cv, grad)
 }
 
 // buildUnigram builds the negative-sampling table: token indices appear
