@@ -5,8 +5,8 @@
 // JSON file under a label, so successive PRs can record before/after numbers
 // measured by the exact same harness:
 //
-//	subtab-bench -label baseline -out BENCH_PR2.json   # before a change
-//	subtab-bench -label current  -out BENCH_PR2.json   # after
+//	subtab-bench -label baseline -out BENCH_PR3.json   # before a change
+//	subtab-bench -label current  -out BENCH_PR3.json   # after
 //
 // The file maps label -> benchmark -> {ns_per_op, bytes_per_op,
 // allocs_per_op, n}; existing labels other than the one being written are
@@ -59,7 +59,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("subtab-bench: ")
 	var (
-		out   = flag.String("out", "BENCH_PR2.json", "JSON file to merge results into")
+		out   = flag.String("out", "BENCH_PR3.json", "JSON file to merge results into")
 		label = flag.String("label", "current", "label to record results under")
 	)
 	flag.Parse()
@@ -96,6 +96,36 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := model.Select(10, 10, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Streaming ingestion: a 1% append on the Fig. 9 dataset through the
+	// warm incremental path (bin reuse + frozen embedding + in-place vector
+	// cache extension) vs the full re-preprocess it replaces. The
+	// interactivity claim of the append PR is the ratio of this number to
+	// Fig9Preprocess.
+	appendRows := func() *subtab.Table {
+		d, err := datagen.ByName("FL", 30, 99) // 1% of 3000, same distribution
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d.T
+	}
+	if _, err := model.Select(10, 10, nil); err != nil { // warm the vector cache
+		log.Fatal(err)
+	}
+	delta := appendRows()
+	if _, stats, err := model.Append(delta, subtab.AppendOptions{}); err != nil {
+		log.Fatal(err)
+	} else if stats.Rebinned {
+		log.Fatalf("1%% append unexpectedly rebinned (%s); the warm-path benchmark would be meaningless", stats.RebinReason)
+	}
+	run("Fig9Append1pct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := model.Append(delta, subtab.AppendOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -21,6 +21,7 @@
 //	POST   /tables?name=N            (CSV body)
 //	GET    /tables/{name}
 //	DELETE /tables/{name}
+//	POST   /tables/{name}/append     (CSV body; incremental row ingestion)
 //	POST   /tables/{name}/select     {"k":10,"l":10,"targets":[...]}
 //	POST   /tables/{name}/query      {"query":{...},"k":10,"l":10}
 //	GET    /tables/{name}/rules

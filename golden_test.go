@@ -1,0 +1,82 @@
+package subtab_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subtab"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden fingerprints")
+
+// goldenConfig pins every seed of the pipeline so the selection is a pure
+// function of the code. Workers=1: hogwild embedding training is the one
+// intentionally nondeterministic stage.
+func goldenConfig() subtab.Options {
+	opt := subtab.DefaultOptions()
+	opt.Bins.Seed = 41
+	opt.Corpus.Seed = 41
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 41, Workers: 1}
+	opt.ClusterSeed = 41
+	return opt
+}
+
+// goldenFingerprint renders every observable part of a selection.
+func goldenFingerprint(st *subtab.SubTable) string {
+	return fmt.Sprintf("%v|%v|%v|%s", st.SourceRows, st.ColIdx, st.Cols, st.View.Render(nil))
+}
+
+// TestGoldenSelectionFingerprints locks the full pipeline's output on three
+// of the paper's datasets: any refactor that changes a single byte of a
+// selection — binning boundaries, corpus sampling, embedding arithmetic,
+// clustering, tie-breaks, rendering — fails here and must either be fixed
+// or deliberately re-record the goldens with `go test -run Golden -update`.
+// Earlier PRs guarded cross-refactor determinism ad hoc (stash + compare);
+// the checked-in fingerprints make the guard permanent and cross-PR.
+func TestGoldenSelectionFingerprints(t *testing.T) {
+	for _, name := range []string{"FL", "SP", "CY"} {
+		t.Run(name, func(t *testing.T) {
+			ds, err := subtab.GenerateDataset(name, 800, 41)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := subtab.Preprocess(ds.T, goldenConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole, err := model.Select(8, 6, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targeted, err := model.Select(6, 4, ds.Targets[:1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := "whole:\n" + goldenFingerprint(whole) + "\ntargeted:\n" + goldenFingerprint(targeted)
+
+			path := filepath.Join("testdata", "golden", name+".fingerprint")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("selection fingerprint for %s diverged from %s.\n"+
+					"If this change is intentional, re-record with `go test -run Golden -update`.\n got:\n%s\nwant:\n%s",
+					name, path, got, want)
+			}
+		})
+	}
+}

@@ -128,6 +128,13 @@ func (cb *ColumnBins) BinOfCat(code int32) int {
 	}
 	// Unseen code (e.g. appended after binning): treat as the last
 	// non-missing bin ("other" when present).
+	return cb.lastNonMissingBin()
+}
+
+// lastNonMissingBin is the fallback bin for category codes that did not
+// exist when the binning was computed — the single definition of that
+// policy, shared by BinOfCat and the append path's CatToBin extension.
+func (cb *ColumnBins) lastNonMissingBin() int {
 	last := len(cb.Labels) - 1
 	if last == cb.MissingBin {
 		last--

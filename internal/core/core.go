@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"subtab/internal/binning"
 	"subtab/internal/cluster"
@@ -94,13 +95,34 @@ type Model struct {
 	// by every selection.
 	colAffinity []float64
 
+	// binCounts[c][bin] is the cumulative number of rows of column c in each
+	// bin — the integer form of the frequencies the affinity computation
+	// weights by. Preprocess fills it; models restored from older persisted
+	// formats rebuild it lazily (one scan of the bin codes). Append updates
+	// it incrementally from the delta alone.
+	binCountsOnce sync.Once
+	binCounts     [][]int64
+
+	// appendedSinceRebin counts rows ingested through the incremental
+	// append path since the bin boundaries were last computed (Preprocess
+	// or a rebin). Per-append drift checks cannot see slow cumulative
+	// drift — each chunk is judged against a distribution that already
+	// absorbed its predecessors — so Append also re-bins once this exceeds
+	// the growth threshold, bounding staleness to one table-doubling at
+	// default settings (classic amortization: the occasional full re-bin
+	// stays O(1) per appended row).
+	appendedSinceRebin int
+
 	// fullVecs caches the tuple-vectors of every row over all columns
 	// (built lazily on the first selection that needs them). Full-table
 	// displays — the warm serving steady state — reuse the matrix directly,
 	// and row-subset selections over the full column set copy rows out of
 	// it, because a tuple-vector depends only on the column set.
-	fullVecsOnce sync.Once
-	fullVecs     f32.Matrix
+	// fullVecsReady flips once the matrix is usable, so Append can extend a
+	// warm cache instead of discarding it.
+	fullVecsOnce  sync.Once
+	fullVecs      f32.Matrix
+	fullVecsReady atomic.Bool
 }
 
 // indexItems builds the item-id → embedding-row index over the zero-copy
@@ -167,28 +189,104 @@ func (m *Model) AffinityMatrix() [][]float64 {
 	return out
 }
 
-// computeColumnAffinities fills the global pairwise column-affinity matrix.
-// Every (i,j) pair is independent and writes disjoint cells, so the upper
-// triangle fans out across workers (dynamically scheduled — row i of the
-// triangle costs O(mc−i)) with bit-identical results at any worker count.
+// computeColumnAffinities fills the global pairwise column-affinity matrix
+// from the cumulative bin counts. Every (i,j) pair is independent and writes
+// disjoint cells, so the upper triangle fans out across workers (dynamically
+// scheduled — row i of the triangle costs O(mc−i)) with bit-identical
+// results at any worker count.
 func (m *Model) computeColumnAffinities() {
-	mc := m.T.NumCols()
-	allRows := make([]int, m.T.NumRows())
-	for i := range allRows {
-		allRows[i] = i
-	}
-	workers := f32.Workers(mc)
-	freqs := make([][]float64, mc)
-	f32.ParallelIndex(mc, workers, func(c int) {
-		freqs[c] = m.binFrequencies(c, allRows)
+	m.colAffinity = m.affinityFromCounts(m.cachedBinCounts(), m.T.NumRows())
+}
+
+// cachedBinCounts returns the per-column per-bin row counts, computing them
+// with one scan of the bin codes the first time they are needed (models
+// restored from format versions that predate serialized counts).
+func (m *Model) cachedBinCounts() [][]int64 {
+	m.binCountsOnce.Do(func() {
+		if m.binCounts != nil {
+			return
+		}
+		mc := m.T.NumCols()
+		counts := make([][]int64, mc)
+		f32.ParallelIndex(mc, f32.Workers(mc), func(c int) {
+			f := make([]int64, m.B.Cols[c].NumBins())
+			for _, code := range m.B.Codes[c] {
+				f[code]++
+			}
+			counts[c] = f
+		})
+		m.binCounts = counts
 	})
-	m.colAffinity = make([]float64, mc*mc)
-	f32.ParallelIndex(mc, workers, func(i int) {
+	return m.binCounts
+}
+
+// seedBinCounts installs externally known counts (modelio, Append) so the
+// lazy scan never runs. It is a no-op once counts exist.
+func (m *Model) seedBinCounts(counts [][]int64) {
+	m.binCountsOnce.Do(func() { m.binCounts = counts })
+}
+
+// BinCountsData returns the cumulative per-column per-bin row counts (the
+// integer form of the affinity frequencies). It aliases model memory and
+// must not be mutated; it exists so the counts can be serialized (package
+// modelio) and appends on a loaded model stay incremental.
+func (m *Model) BinCountsData() [][]int64 { return m.cachedBinCounts() }
+
+// AppendedSinceRebin returns the number of rows ingested incrementally
+// since the bin boundaries were last computed (serialized by modelio so
+// the growth-triggered re-bin survives a save/load cycle).
+func (m *Model) AppendedSinceRebin() int { return m.appendedSinceRebin }
+
+// SetAppendedSinceRebin installs the deserialized lineage counter on a
+// freshly restored model (package modelio).
+func (m *Model) SetAppendedSinceRebin(n int) error {
+	if n < 0 || n > m.T.NumRows() {
+		return fmt.Errorf("core: %d appended rows for a %d-row table", n, m.T.NumRows())
+	}
+	m.appendedSinceRebin = n
+	return nil
+}
+
+// SeedBinCounts installs deserialized bin counts on a freshly restored
+// model (package modelio). Counts must match the binning's shape; models
+// with counts already computed ignore the call.
+func (m *Model) SeedBinCounts(counts [][]int64) error {
+	if len(counts) != len(m.B.Cols) {
+		return fmt.Errorf("core: %d count columns for %d binned columns", len(counts), len(m.B.Cols))
+	}
+	for c := range counts {
+		if len(counts[c]) != m.B.Cols[c].NumBins() {
+			return fmt.Errorf("core: column %d has %d counts, %d bins", c, len(counts[c]), m.B.Cols[c].NumBins())
+		}
+	}
+	m.seedBinCounts(counts)
+	return nil
+}
+
+// affinityFromCounts computes the flat affinity matrix for the given
+// cumulative counts over n rows. The frequency arithmetic (float64 count ×
+// 1/n) reproduces the historical per-row accumulation bit for bit: counting
+// in float64 is exact far beyond any table size, and the single multiply by
+// the inverse is the same final operation.
+func (m *Model) affinityFromCounts(counts [][]int64, n int) []float64 {
+	mc := m.T.NumCols()
+	inv := 1 / float64(max(1, n))
+	freqs := make([][]float64, mc)
+	for c := range freqs {
+		f := make([]float64, len(counts[c]))
+		for i, cnt := range counts[c] {
+			f[i] = float64(cnt) * inv
+		}
+		freqs[c] = f
+	}
+	aff := make([]float64, mc*mc)
+	f32.ParallelIndex(mc, f32.Workers(mc), func(i int) {
 		for j := i + 1; j < mc; j++ {
 			a := (m.directedAffinity(i, j, freqs[i]) + m.directedAffinity(j, i, freqs[j])) / 2
-			m.colAffinity[i*mc+j], m.colAffinity[j*mc+i] = a, a
+			aff[i*mc+j], aff[j*mc+i] = a, a
 		}
 	})
+	return aff
 }
 
 // ColumnAffinity returns the global association affinity of two columns.
@@ -534,8 +632,19 @@ func (m *Model) fullRowVectors() f32.Matrix {
 			}
 		})
 		m.fullVecs = mat
+		m.fullVecsReady.Store(true)
 	})
 	return m.fullVecs
+}
+
+// seedFullVecs installs a pre-built full-table tuple-vector matrix (the
+// append path extends the previous model's warm cache). No-op if the lazy
+// build already ran.
+func (m *Model) seedFullVecs(mat f32.Matrix) {
+	m.fullVecsOnce.Do(func() {
+		m.fullVecs = mat
+		m.fullVecsReady.Store(true)
+	})
 }
 
 // identityCols reports whether cols is exactly 0..mc-1.
@@ -700,20 +809,6 @@ func (m *Model) patternGroupColumns(candCols, rows []int, need int) []int {
 		}
 	}
 	return picked
-}
-
-// binFrequencies returns the relative frequency of each bin of column c
-// over the given rows.
-func (m *Model) binFrequencies(c int, rows []int) []float64 {
-	f := make([]float64, m.B.Cols[c].NumBins())
-	for _, r := range rows {
-		f[m.B.Codes[c][r]]++
-	}
-	inv := 1 / float64(max(1, len(rows)))
-	for i := range f {
-		f[i] *= inv
-	}
-	return f
 }
 
 // directedAffinity measures how strongly column u's bins associate with

@@ -54,18 +54,7 @@ func Build(b *binning.Binned, opt Options) [][]int32 {
 		for i := range rowIdx {
 			rowIdx[i] = i
 		}
-		if n > opt.MaxSentences {
-			rng := rand.New(rand.NewSource(opt.Seed))
-			rng.Shuffle(n, func(i, j int) { rowIdx[i], rowIdx[j] = rowIdx[j], rowIdx[i] })
-			rowIdx = rowIdx[:opt.MaxSentences]
-		}
-		for _, r := range rowIdx {
-			sent := make([]int32, m)
-			for c := 0; c < m; c++ {
-				sent[c] = b.Item(c, r)
-			}
-			sentences = append(sentences, sent)
-		}
+		sentences = BuildRows(b, opt, rowIdx)
 	}
 
 	if opt.ColumnSentences {
@@ -76,6 +65,34 @@ func Build(b *binning.Binned, opt Options) [][]int32 {
 			}
 			sentences = append(sentences, sent)
 		}
+	}
+	return sentences
+}
+
+// BuildRows constructs tuple-sentences for just the given rows — Build's
+// tuple branch over the full table, and the delta corpus of an incremental
+// append (core.Model.Append). The append path never emits column-sentences:
+// a column-sentence spans all rows, so there is no per-row delta for it;
+// fine-tuning works from tuple-sentences alone, like the pipeline's default
+// configuration. The sentence cap applies as in Build, sampling uniformly
+// with opt.Seed; the input slice is left unmodified.
+func BuildRows(b *binning.Binned, opt Options, rows []int) [][]int32 {
+	opt = opt.withDefaults()
+	m := b.NumCols()
+	if len(rows) > opt.MaxSentences {
+		sampled := make([]int, len(rows))
+		copy(sampled, rows)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		rng.Shuffle(len(sampled), func(i, j int) { sampled[i], sampled[j] = sampled[j], sampled[i] })
+		rows = sampled[:opt.MaxSentences]
+	}
+	sentences := make([][]int32, 0, len(rows))
+	for _, r := range rows {
+		sent := make([]int32, m)
+		for c := 0; c < m; c++ {
+			sent[c] = b.Item(c, r)
+		}
+		sentences = append(sentences, sent)
 	}
 	return sentences
 }

@@ -106,3 +106,37 @@ func TestDefaultsWhenBothDisabled(t *testing.T) {
 		t.Fatalf("sentences = %d, want 12", len(sents))
 	}
 }
+
+func TestBuildRowsDeltaMatchesFullTupleSentences(t *testing.T) {
+	b := binnedTable(t, 30)
+	full := Build(b, Options{MaxSentences: 100, TupleSentences: true})
+	delta := BuildRows(b, Options{MaxSentences: 100, TupleSentences: true}, []int{27, 28, 29})
+	if len(delta) != 3 {
+		t.Fatalf("delta sentences = %d, want 3", len(delta))
+	}
+	for i, r := range []int{27, 28, 29} {
+		for j := range delta[i] {
+			if delta[i][j] != full[r][j] {
+				t.Fatalf("delta sentence %d diverges from full tuple-sentence of row %d", i, r)
+			}
+		}
+	}
+}
+
+func TestBuildRowsCapped(t *testing.T) {
+	b := binnedTable(t, 30)
+	rows := make([]int, 30)
+	for i := range rows {
+		rows[i] = i
+	}
+	sents := BuildRows(b, Options{MaxSentences: 10, Seed: 4}, rows)
+	if len(sents) != 10 {
+		t.Fatalf("capped delta = %d sentences, want 10", len(sents))
+	}
+	// The input slice must not be reordered by the sampling shuffle.
+	for i, r := range rows {
+		if r != i {
+			t.Fatal("BuildRows mutated its input rows slice")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"subtab/internal/core"
+	"subtab/internal/table"
+	"subtab/internal/word2vec"
+)
+
+// fuzzModelBytes builds a small but fully featured model file: numeric and
+// categorical columns, missing values, an "other" bin, a trained embedding
+// — every section of the format is non-trivial.
+func fuzzModelBytes(tb testing.TB) []byte {
+	tb.Helper()
+	nums := make([]float64, 60)
+	cats := make([]string, 60)
+	for i := range nums {
+		nums[i] = float64(i % 9)
+		cats[i] = []string{"a", "b", "c", "d", "e", "f", "g"}[i%7]
+	}
+	nums[5] = nan()
+	cats[11] = ""
+	tab, err := table.FromColumns("fz", []*table.Column{
+		table.NewNumeric("num", nums),
+		table.NewCategorical("cat", cats),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	opt := core.Default()
+	opt.Bins.MaxBins = 4
+	opt.Embedding = word2vec.Options{Dim: 8, Epochs: 1, Seed: 1, Workers: 1}
+	m, err := core.Preprocess(tab, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad drives Load with corrupted model files: whatever the bytes,
+// Load must return a model or an error — never panic, never hang, never
+// allocate unboundedly off a poisoned length field. Seeds cover the
+// adversarial classes the codec is documented to reject: truncations at
+// section boundaries, bit flips (caught by the CRC), version skew, and an
+// empty/garbage stream. The checked-in corpus under testdata/fuzz/FuzzLoad
+// replays known-interesting inputs on every plain `go test` run.
+func FuzzLoad(f *testing.F) {
+	valid := fuzzModelBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SUBTABMD"))
+	f.Add([]byte("not a model file at all"))
+	// Truncations: header, early sections, just before the checksum.
+	for _, n := range []int{4, 9, 16, 64, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
+		if n >= 0 && n < len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Bit flips sprinkled through every section.
+	for pos := 0; pos < len(valid); pos += len(valid)/16 + 1 {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x40
+		f.Add(flipped)
+	}
+	// Version skew: future and zero versions in an otherwise valid file.
+	for _, v := range []uint16{0, Version + 1, 999} {
+		skewed := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint16(skewed[8:10], v)
+		f.Add(skewed)
+	}
+	// Poisoned length field right after the header (row count).
+	poisoned := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(poisoned[10:14], 0xFFFFFFF0)
+	f.Add(poisoned)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatal("Load returned both a model and an error")
+			}
+			return
+		}
+		// Anything Load accepts must be internally consistent enough to
+		// serialize again and to answer the cheap structural queries the
+		// serving layer makes.
+		if m.T == nil || m.B == nil || m.Emb == nil {
+			t.Fatal("Load accepted an incomplete model")
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("accepted model does not re-save: %v", err)
+		}
+	})
+}

@@ -7,7 +7,8 @@
 // The format is a versioned little-endian binary codec:
 //
 //	"SUBTABMD" magic · uint16 version · options · table · binned
-//	representation · embedding matrices · column-affinity matrix · CRC-32C
+//	representation · embedding matrices · column-affinity matrix ·
+//	bin counts + append lineage (v3+) · CRC-32C
 //
 // Everything Select/SelectQuery needs is round-tripped — including the item
 // vectors and the precomputed column-affinity matrix — so a loaded model
@@ -42,8 +43,13 @@ import (
 // the flat-matrix core (embedding and affinity matrices serialize straight
 // from their contiguous backing arrays, with no slice-of-slices staging on
 // either side); the byte layout is unchanged from version 1 apart from the
-// version field itself.
-const Version uint16 = 2
+// version field itself. Version 3 appends the cumulative per-column bin
+// counts and the appended-since-rebin lineage counter after the affinity
+// matrix, so the streaming append path (core.Model.Append) stays
+// incremental across a save/load cycle instead of re-scanning the table
+// for its drift baseline; files from versions 1 and 2 still load, with the
+// counts rebuilt lazily on first use.
+const Version uint16 = 3
 
 var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
 
@@ -72,6 +78,8 @@ func Save(w io.Writer, m *core.Model) error {
 	writeBinned(e, m.B)
 	writeEmbedding(e, m.Emb)
 	writeAffinity(e, m.AffinityData(), m.T.NumCols())
+	writeBinCounts(e, m.BinCountsData())
+	e.u64(uint64(m.AppendedSinceRebin()))
 	if e.err != nil {
 		return e.err
 	}
@@ -108,11 +116,12 @@ func Load(r io.Reader) (*core.Model, error) {
 	if d.err != nil || gotMagic != magic {
 		return nil, ErrBadMagic
 	}
-	// Version 1 files are accepted: the v2 bump only changed the in-memory
-	// endpoints of the codec, not the byte layout, so a PR-1 disk cache
-	// keeps serving (byte-identical selections included) across the
-	// upgrade.
-	if v := d.u16(); d.err != nil || (v != Version && v != 1) {
+	// Versions 1 and 2 are accepted: v2 only changed the in-memory endpoints
+	// of the codec, and v3 only appended the bin-count section, so older
+	// disk caches keep serving (byte-identical selections included) across
+	// upgrades — v1/v2 models just rebuild their counts lazily.
+	v := d.u16()
+	if d.err != nil || v < 1 || v > Version {
 		if d.err != nil {
 			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 		}
@@ -123,6 +132,12 @@ func Load(r io.Reader) (*core.Model, error) {
 	b := readBinned(d, t)
 	emb := readEmbedding(d)
 	aff := readAffinity(d, t)
+	var counts [][]int64
+	appendedSinceRebin := 0
+	if v >= 3 {
+		counts = readBinCounts(d, b)
+		appendedSinceRebin = int(d.u64())
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -138,6 +153,14 @@ func Load(r io.Reader) (*core.Model, error) {
 	}
 	m, err := core.Restore(t, b, emb, opt, aff)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if counts != nil {
+		if err := m.SeedBinCounts(counts); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if err := m.SetAppendedSinceRebin(appendedSinceRebin); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return m, nil
@@ -401,6 +424,63 @@ func readEmbedding(d *decoder) *word2vec.Model {
 		return nil
 	}
 	return m
+}
+
+// writeBinCounts serializes the cumulative per-column per-bin row counts
+// (format v3): the streaming append path's drift baseline.
+func writeBinCounts(e *encoder, counts [][]int64) {
+	e.u32(uint32(len(counts)))
+	for _, cc := range counts {
+		e.u32(uint32(len(cc)))
+		for _, v := range cc {
+			e.i64(v)
+		}
+	}
+}
+
+func readBinCounts(d *decoder, b *binning.Binned) [][]int64 {
+	if d.err != nil || b == nil {
+		return nil
+	}
+	nc := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if nc != len(b.Cols) {
+		d.fail("bin counts for %d columns, binning has %d", nc, len(b.Cols))
+		return nil
+	}
+	out := make([][]int64, nc)
+	nRows := int64(b.NumRows())
+	for c := range out {
+		n := int(d.u32())
+		if d.err != nil {
+			return nil
+		}
+		if n != b.Cols[c].NumBins() {
+			d.fail("column %d has %d bin counts, %d bins", c, n, b.Cols[c].NumBins())
+			return nil
+		}
+		cc := make([]int64, n)
+		total := int64(0)
+		for i := range cc {
+			cc[i] = d.i64()
+			if cc[i] < 0 {
+				d.fail("column %d has negative bin count", c)
+				return nil
+			}
+			total += cc[i]
+		}
+		if d.err != nil {
+			return nil
+		}
+		if total != nRows {
+			d.fail("column %d bin counts sum to %d, table has %d rows", c, total, nRows)
+			return nil
+		}
+		out[c] = cc
+	}
+	return out
 }
 
 func writeAffinity(e *encoder, aff []float64, nCols int) {

@@ -19,8 +19,9 @@ import (
 )
 
 // maxCSVBody bounds uploaded CSV bodies (tables beyond this belong in a
-// bulk-ingest path, not an HTTP upload).
-const maxCSVBody = 1 << 30
+// bulk-ingest path, not an HTTP upload). A variable so tests can exercise
+// the oversized-body path without allocating a gigabyte.
+var maxCSVBody int64 = 1 << 30
 
 // NewHandler adapts a Service to an HTTP/JSON API:
 //
@@ -29,6 +30,7 @@ const maxCSVBody = 1 << 30
 //	POST   /tables?name=N           upload a CSV body and pre-process it
 //	GET    /tables/{name}           one table's info
 //	DELETE /tables/{name}           drop a table
+//	POST   /tables/{name}/append    append CSV rows (incremental ingestion)
 //	POST   /tables/{name}/select    k×l sub-table of the whole table
 //	POST   /tables/{name}/query     k×l sub-table of a query result
 //	GET    /tables/{name}/rules     mined association rules
@@ -43,6 +45,7 @@ func NewHandler(svc *Service, logger *log.Logger) http.Handler {
 	mux.HandleFunc("POST /tables", h.createTable)
 	mux.HandleFunc("GET /tables/{name}", h.tableInfo)
 	mux.HandleFunc("DELETE /tables/{name}", h.deleteTable)
+	mux.HandleFunc("POST /tables/{name}/append", h.appendRows)
 	mux.HandleFunc("POST /tables/{name}/select", h.selectWhole)
 	mux.HandleFunc("POST /tables/{name}/query", h.selectQuery)
 	mux.HandleFunc("GET /tables/{name}/rules", h.rules)
@@ -148,7 +151,7 @@ func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxCSVBody))
 	if err != nil {
-		writeBadRequest(w, "parsing CSV: %v", err)
+		writeCSVError(w, err)
 		return
 	}
 	start := time.Now()
@@ -164,6 +167,83 @@ func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
 		"columns":       m.T.ColumnNames(),
 		"preprocess_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// appendRows ingests a CSV body of additional rows: POST
+// /tables/{name}/append with optional knobs drift (total-variation re-bin
+// threshold), epochs (fine-tune passes for new embedding tokens) and
+// rebin=1 (force a full re-preprocess). The body's header must carry the
+// served table's columns. In-flight selects keep the pre-append model; the
+// response reports what the append did (see core.AppendStats).
+func (h *api) appendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	qp := r.URL.Query()
+	var opt core.AppendOptions
+	if v := qp.Get("drift"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeBadRequest(w, "parameter drift: want a positive number, got %q", v)
+			return
+		}
+		opt.DriftThreshold = f
+	}
+	if v := qp.Get("epochs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeBadRequest(w, "parameter epochs: want a positive integer, got %q", v)
+			return
+		}
+		opt.FineTuneEpochs = n
+	}
+	switch v := qp.Get("rebin"); v {
+	case "", "0", "false":
+	case "1", "true":
+		opt.ForceRebin = true
+	default:
+		// Reject rather than silently run the incremental path the caller
+		// explicitly tried to bypass.
+		writeBadRequest(w, "parameter rebin: want 1/true or 0/false, got %q", v)
+		return
+	}
+	// Parse the chunk against the served table's column kinds: a chunk is
+	// too small a sample to re-infer types from (a categorical column whose
+	// few chunk values all look numeric would misparse), and the error for
+	// a genuinely non-numeric cell should name the column, not the schema.
+	cur, err := h.svc.Model(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, err := table.ReadCSVLike(name, http.MaxBytesReader(w, r.Body, maxCSVBody), cur.T)
+	if err != nil {
+		writeCSVError(w, err)
+		return
+	}
+	start := time.Now()
+	m, stats, err := h.svc.AppendRows(name, rows, opt)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":    name,
+		"rows":    m.T.NumRows(),
+		"cols":    m.T.NumCols(),
+		"append":  stats,
+		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// writeCSVError maps a CSV ingestion failure to a status: an oversized body
+// is 413, anything else the client's malformed CSV (400).
+func writeCSVError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+		return
+	}
+	writeBadRequest(w, "parsing CSV: %v", err)
 }
 
 // pipelineOptions overlays query-parameter knobs on the service defaults.

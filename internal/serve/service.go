@@ -102,6 +102,37 @@ func (s *Service) AddTable(name string, t *table.Table, opt *core.Options, repla
 	return m, nil
 }
 
+// AppendRows ingests rows into the named table via core.Model.Append: the
+// replacement model is built off to the side (bin boundaries, embeddings
+// and caches reused incrementally; full re-preprocess only on drift) and
+// swapped in under the store's per-name lock with a generation bump, so
+// selections in flight finish against the model they started with and
+// concurrent appends compose instead of losing rows. Cached rules for the
+// name are invalidated — they were mined over the old rows.
+func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOptions) (*core.Model, core.AppendStats, error) {
+	var stats core.AppendStats
+	changed := false
+	m, err := s.store.Update(name, func(cur *core.Model) (*core.Model, error) {
+		next, st, err := cur.Append(rows, opt)
+		if err != nil {
+			// Append fails only on request-shaped faults (schema mismatch
+			// with the served table); the model itself is untouched.
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		stats = st
+		changed = next != cur
+		return next, nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	// A zero-row append returns the model unchanged; mined rules stay valid.
+	if changed {
+		s.invalidateRules(name)
+	}
+	return m, stats, nil
+}
+
 // RemoveTable drops the named table from memory and disk.
 func (s *Service) RemoveTable(name string) {
 	s.store.Remove(name)

@@ -233,6 +233,61 @@ func (s *Store) Put(name string, m *core.Model) error {
 	return nil
 }
 
+// Update atomically replaces name's model with fn(current): the
+// read-modify-write primitive behind streaming appends. Updates of one name
+// are serialized by the per-name lock (two concurrent appends compose
+// instead of the second clobbering the first), the generation is bumped so
+// in-flight builds of the same name discard their now-stale results, and
+// reads are never blocked — selections in flight keep the model they
+// resolved, new requests see the replacement as soon as it is installed.
+// fn must not mutate the model it is given; it builds and returns a new one
+// (core.Model.Append's contract). Unknown names return ErrNotFound.
+func (s *Store) Update(name string, fn func(*core.Model) (*core.Model, error)) (*core.Model, error) {
+	nl := s.lockName(name)
+	nl.Lock()
+	defer nl.Unlock()
+	s.mu.Lock()
+	var cur *core.Model
+	if el, ok := s.entries[name]; ok {
+		cur = el.Value.(*storeEntry).model
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if cur == nil && s.opt.Dir != "" {
+		if m, err := modelio.LoadFile(s.path(name)); err == nil {
+			s.diskLoads.Add(1)
+			cur = m
+		}
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	next, err := fn(cur)
+	if err != nil {
+		return nil, err
+	}
+	if next == cur {
+		// fn declined to change anything (e.g. a zero-row append): no
+		// persist, no generation bump, no rules-cache churn — but a model
+		// that was just deserialized from disk is worth keeping in memory,
+		// or the next request pays the whole load again.
+		s.mu.Lock()
+		s.insertLocked(name, cur)
+		s.mu.Unlock()
+		return cur, nil
+	}
+	if s.opt.Dir != "" {
+		if err := s.persist(name, next); err != nil {
+			return nil, fmt.Errorf("serve: persisting model %q: %w", name, err)
+		}
+	}
+	s.mu.Lock()
+	s.gen[name]++
+	s.insertLocked(name, next)
+	s.mu.Unlock()
+	return next, nil
+}
+
 // lockName returns the mutex serializing mutations of one table name.
 func (s *Store) lockName(name string) *sync.Mutex {
 	s.mu.Lock()

@@ -1,0 +1,188 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAppendRowsBasic(t *testing.T) {
+	base := sample(t) // 4 rows: DISTANCE, AIRLINE, CANCELLED
+	add := New("delta")
+	if err := add.AddColumn(NewNumeric("DISTANCE", []float64{700, math.NaN()})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewCategorical("AIRLINE", []string{"DL", "AA"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewNumeric("CANCELLED", []float64{1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	out, err := base.AppendRows(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 6 || out.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d, want 6x3", out.NumRows(), out.NumCols())
+	}
+	if got := out.Cell(4, "DISTANCE"); got.Num != 700 {
+		t.Fatalf("appended DISTANCE = %v, want 700", got)
+	}
+	if got := out.Cell(5, "DISTANCE"); !got.Missing {
+		t.Fatalf("appended NaN DISTANCE = %v, want missing", got)
+	}
+	// New category DL interned after the existing ones; old strings reuse
+	// their codes.
+	if got := out.Cell(4, "AIRLINE"); got.Str != "DL" {
+		t.Fatalf("appended AIRLINE = %v, want DL", got)
+	}
+	if got := out.Cell(5, "AIRLINE"); got.Str != "AA" {
+		t.Fatalf("appended AIRLINE = %v, want AA", got)
+	}
+	ac := out.Column("AIRLINE")
+	if ac.Cats[5] != base.Column("AIRLINE").Cats[0] {
+		t.Fatalf("existing category re-interned with a new code: %d vs %d",
+			ac.Cats[5], base.Column("AIRLINE").Cats[0])
+	}
+}
+
+func TestAppendRowsDoesNotMutateReceiver(t *testing.T) {
+	base := sample(t)
+	beforeRows := base.NumRows()
+	beforeDict := base.Column("AIRLINE").Dict.Size()
+	add := New("delta")
+	if err := add.AddColumn(NewNumeric("DISTANCE", []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewCategorical("AIRLINE", []string{"ZZ"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewNumeric("CANCELLED", []float64{0})); err != nil {
+		t.Fatal(err)
+	}
+	out, err := base.AppendRows(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumRows() != beforeRows {
+		t.Fatalf("receiver grew to %d rows", base.NumRows())
+	}
+	if base.Column("AIRLINE").Dict.Size() != beforeDict {
+		t.Fatalf("receiver dictionary grew to %d", base.Column("AIRLINE").Dict.Size())
+	}
+	if out.Column("AIRLINE").Dict == base.Column("AIRLINE").Dict {
+		t.Fatal("result shares the receiver's dictionary")
+	}
+	if out.Column("AIRLINE").Dict.Size() != beforeDict+1 {
+		t.Fatalf("result dictionary has %d entries, want %d", out.Column("AIRLINE").Dict.Size(), beforeDict+1)
+	}
+}
+
+func TestAppendRowsMatchesByName(t *testing.T) {
+	base := sample(t)
+	// Columns in a different order still land in the right place.
+	add := New("delta")
+	if err := add.AddColumn(NewNumeric("CANCELLED", []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewCategorical("AIRLINE", []string{"B6"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewNumeric("DISTANCE", []float64{42})); err != nil {
+		t.Fatal(err)
+	}
+	out, err := base.AppendRows(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Cell(4, "DISTANCE"); got.Num != 42 {
+		t.Fatalf("DISTANCE = %v, want 42", got)
+	}
+	if got := out.Cell(4, "CANCELLED"); got.Num != 1 {
+		t.Fatalf("CANCELLED = %v, want 1", got)
+	}
+}
+
+func TestAppendRowsAllMissingColumnMatchesEitherKind(t *testing.T) {
+	base := sample(t)
+	// A CSV chunk whose DISTANCE cells are all empty infers Categorical;
+	// the append must still accept it as missing numeric values.
+	add := New("delta")
+	if err := add.AddColumn(NewCategorical("DISTANCE", []string{"", ""})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewCategorical("AIRLINE", []string{"AA", "AA"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := add.AddColumn(NewNumeric("CANCELLED", []float64{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	out, err := base.AppendRows(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 4; r < 6; r++ {
+		if !out.Column("DISTANCE").Missing(r) {
+			t.Fatalf("row %d DISTANCE not missing", r)
+		}
+	}
+}
+
+func TestAppendRowsErrors(t *testing.T) {
+	base := sample(t)
+	missingCol := New("delta")
+	if err := missingCol.AddColumn(NewNumeric("DISTANCE", []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.AppendRows(missingCol); err == nil {
+		t.Fatal("append with missing columns succeeded")
+	}
+
+	wrongName := New("delta")
+	for _, c := range []*Column{
+		NewNumeric("DISTANCE", []float64{1}),
+		NewCategorical("CARRIER", []string{"AA"}),
+		NewNumeric("CANCELLED", []float64{0}),
+	} {
+		if err := wrongName.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := base.AppendRows(wrongName); err == nil {
+		t.Fatal("append with unknown column name succeeded")
+	}
+
+	wrongKind := New("delta")
+	for _, c := range []*Column{
+		NewCategorical("DISTANCE", []string{"far"}),
+		NewCategorical("AIRLINE", []string{"AA"}),
+		NewNumeric("CANCELLED", []float64{0}),
+	} {
+		if err := wrongKind.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := base.AppendRows(wrongKind); err == nil {
+		t.Fatal("append with non-missing kind mismatch succeeded")
+	}
+}
+
+func TestAppendRowsEmptyDelta(t *testing.T) {
+	base := sample(t)
+	add := New("delta")
+	for _, c := range []*Column{
+		NewNumeric("DISTANCE", nil),
+		NewCategorical("AIRLINE", nil),
+		NewNumeric("CANCELLED", nil),
+	} {
+		if err := add.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := base.AppendRows(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != base.NumRows() {
+		t.Fatalf("rows = %d, want %d", out.NumRows(), base.NumRows())
+	}
+}

@@ -20,30 +20,9 @@ var missingTokens = map[string]bool{
 // Kind per column: a column is Numeric if every non-missing cell parses as a
 // float, otherwise Categorical. The name is attached to the table.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = false
-	header, err := cr.Read()
+	header, raw, err := readCSVRaw(r)
 	if err != nil {
-		return nil, fmt.Errorf("table: reading CSV header: %w", err)
-	}
-	for i := range header {
-		header[i] = strings.TrimSpace(header[i])
-	}
-	raw := make([][]string, len(header))
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("table: reading CSV row: %w", err)
-		}
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("table: CSV row has %d fields, header has %d", len(rec), len(header))
-		}
-		for i, cell := range rec {
-			raw[i] = append(raw[i], strings.TrimSpace(cell))
-		}
+		return nil, err
 	}
 	t := New(name)
 	for i, colName := range header {
@@ -72,6 +51,105 @@ func ReadCSVFile(path string) (*Table, error) {
 	return ReadCSV(name, f)
 }
 
+// ReadCSVLike parses a CSV stream with a header row, typing each column by
+// the like-named column of schema instead of inferring from the cells —
+// the right reader for an append chunk, where per-chunk inference can
+// misjudge (a categorical column whose chunk values all happen to parse as
+// numbers, a numeric column whose chunk cells are all missing). Columns
+// absent from schema fall back to inference, so schema mismatches surface
+// downstream with their usual errors; a non-numeric cell in a
+// schema-numeric column is an error here, naming the column and value.
+func ReadCSVLike(name string, r io.Reader, schema *Table) (*Table, error) {
+	header, raw, err := readCSVRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	t := New(name)
+	for i, colName := range header {
+		var col *Column
+		sc := schema.Column(colName)
+		switch {
+		case sc == nil:
+			col = inferColumn(colName, raw[i])
+		case sc.Kind == Numeric:
+			vals, err := numericCells(colName, raw[i])
+			if err != nil {
+				return nil, err
+			}
+			col = NewNumeric(colName, vals)
+		default:
+			col = NewCategorical(colName, categoricalCells(raw[i]))
+		}
+		if err := t.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// readCSVRaw reads the header and the per-column raw cells.
+func readCSVRaw(r io.Reader) ([]string, [][]string, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+	}
+	raw := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("table: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, nil, fmt.Errorf("table: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, cell := range rec {
+			raw[i] = append(raw[i], strings.TrimSpace(cell))
+		}
+	}
+	return header, raw, nil
+}
+
+// numericCells converts raw cells to float64s (missing tokens become NaN);
+// a cell that parses as neither is an error naming the column — the single
+// definition of the missing/numeric cell policy, shared by inference and
+// schema-typed parsing.
+func numericCells(name string, cells []string) ([]float64, error) {
+	vals := make([]float64, len(cells))
+	for i, c := range cells {
+		if missingTokens[c] {
+			vals[i] = math.NaN()
+			continue
+		}
+		v, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			return nil, fmt.Errorf("table: column %q row %d: %q is not numeric", name, i+1, c)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// categoricalCells normalizes raw cells for NewCategorical (missing tokens
+// become "", its missing sentinel).
+func categoricalCells(cells []string) []string {
+	vals := make([]string, len(cells))
+	for i, c := range cells {
+		if missingTokens[c] {
+			continue
+		}
+		vals[i] = c
+	}
+	return vals
+}
+
 // inferColumn decides Numeric vs Categorical and builds the column.
 func inferColumn(name string, cells []string) *Column {
 	numeric := true
@@ -90,26 +168,14 @@ func inferColumn(name string, cells []string) *Column {
 		numeric = false // all-missing: keep as categorical of nothing
 	}
 	if numeric {
-		vals := make([]float64, len(cells))
-		for i, c := range cells {
-			if missingTokens[c] {
-				vals[i] = math.NaN()
-				continue
-			}
-			v, _ := strconv.ParseFloat(c, 64)
-			vals[i] = v
+		vals, err := numericCells(name, cells)
+		if err != nil {
+			// Unreachable: every non-missing cell just parsed above.
+			return NewCategorical(name, categoricalCells(cells))
 		}
 		return NewNumeric(name, vals)
 	}
-	vals := make([]string, len(cells))
-	for i, c := range cells {
-		if missingTokens[c] {
-			vals[i] = ""
-			continue
-		}
-		vals[i] = c
-	}
-	return NewCategorical(name, vals)
+	return NewCategorical(name, categoricalCells(cells))
 }
 
 // WriteCSV writes the table as CSV with a header row; missing cells are

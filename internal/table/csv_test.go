@@ -137,3 +137,44 @@ func TestReadCSVFileMissing(t *testing.T) {
 		t.Fatal("missing file should error")
 	}
 }
+
+func TestReadCSVLike(t *testing.T) {
+	schema, err := ReadCSV("s", strings.NewReader("amount,model\n1,A320\n2,737\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Column("model").Kind != Categorical {
+		t.Fatal("setup: model must infer categorical")
+	}
+	// A chunk whose categorical values all look numeric stays categorical.
+	chunk, err := ReadCSVLike("s", strings.NewReader("amount,model\n7,737\n8,747\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunk.Column("model").Kind != Categorical {
+		t.Fatalf("chunk model inferred %v, want categorical", chunk.Column("model").Kind)
+	}
+	if got := chunk.Cell(0, "model"); got.Str != "737" {
+		t.Fatalf("model cell = %v, want 737", got)
+	}
+	// Missing tokens work for both kinds.
+	miss, err := ReadCSVLike("s", strings.NewReader("amount,model\nNA,NULL\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !miss.Column("amount").Missing(0) || !miss.Column("model").Missing(0) {
+		t.Fatal("missing tokens not honored")
+	}
+	// Letters in a schema-numeric column error with the column named.
+	if _, err := ReadCSVLike("s", strings.NewReader("amount,model\nlots,737\n"), schema); err == nil || !strings.Contains(err.Error(), "amount") {
+		t.Fatalf("bad numeric cell error = %v, want named column", err)
+	}
+	// Columns the schema does not know fall back to inference.
+	extra, err := ReadCSVLike("s", strings.NewReader("amount,extra\n1,2\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra.Column("extra").Kind != Numeric {
+		t.Fatal("unknown column did not fall back to inference")
+	}
+}

@@ -71,6 +71,17 @@ func (d *Dict) String(c int32) string { return d.strs[c] }
 // Size returns the number of distinct strings.
 func (d *Dict) Size() int { return len(d.strs) }
 
+// clone deep-copies the dictionary. Appends extend the clone, never the
+// original, so readers of the source table are unaffected.
+func (d *Dict) clone() *Dict {
+	out := &Dict{strs: make([]string, len(d.strs)), idx: make(map[string]int32, len(d.strs))}
+	copy(out.strs, d.strs)
+	for i, s := range out.strs {
+		out.idx[s] = int32(i)
+	}
+	return out
+}
+
 // Column is a single typed column. Exactly one of Nums/Cats is populated
 // depending on Kind.
 type Column struct {
@@ -330,6 +341,68 @@ func (t *Table) SelectRows(rows []int) *Table {
 		_ = out.AddColumn(c.gather(rows))
 	}
 	return out
+}
+
+// AppendRows returns a new table holding t's rows followed by src's rows.
+// The receiver is NOT mutated: every column (and every categorical
+// dictionary) of the result is freshly allocated, so selections running
+// against t — or against a model wrapping t — are unaffected while an append
+// is in flight. This is the substrate of the streaming ingestion path
+// (core.Model.Append).
+//
+// Columns are matched by name: src must have exactly t's column set (any
+// order). Kinds must agree, except that an all-missing src column matches
+// either kind — a CSV chunk whose cells are all empty cannot infer its type.
+// New categorical strings are interned into the result's (cloned)
+// dictionaries in row order, exactly where a fresh CSV read of the
+// concatenated data would put them.
+func (t *Table) AppendRows(src *Table) (*Table, error) {
+	if src.NumCols() != t.NumCols() {
+		return nil, fmt.Errorf("table %s: appending %d columns to %d", t.Name, src.NumCols(), t.NumCols())
+	}
+	oldN, addN := t.NumRows(), src.NumRows()
+	out := New(t.Name)
+	for _, c := range t.cols {
+		sc := src.Column(c.Name)
+		if sc == nil {
+			return nil, fmt.Errorf("table %s: appended rows lack column %q", t.Name, c.Name)
+		}
+		if sc.Kind != c.Kind && sc.MissingCount() != sc.Len() {
+			return nil, fmt.Errorf("table %s: column %q is %v, appended rows have %v",
+				t.Name, c.Name, c.Kind, sc.Kind)
+		}
+		nc := &Column{Name: c.Name, Kind: c.Kind}
+		if c.Kind == Numeric {
+			nc.Nums = make([]float64, oldN+addN)
+			copy(nc.Nums, c.Nums)
+			for r := 0; r < addN; r++ {
+				if sc.Missing(r) {
+					nc.Nums[oldN+r] = math.NaN()
+				} else {
+					nc.Nums[oldN+r] = sc.Nums[r]
+				}
+			}
+		} else {
+			if c.Dict != nil {
+				nc.Dict = c.Dict.clone()
+			} else {
+				nc.Dict = NewDict()
+			}
+			nc.Cats = make([]int32, oldN+addN)
+			copy(nc.Cats, c.Cats)
+			for r := 0; r < addN; r++ {
+				if sc.Missing(r) {
+					nc.Cats[oldN+r] = -1
+				} else {
+					nc.Cats[oldN+r] = nc.Dict.Code(sc.Dict.String(sc.Cats[r]))
+				}
+			}
+		}
+		if err := out.AddColumn(nc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // SubTableView returns the k×l table given by row indices and column names.

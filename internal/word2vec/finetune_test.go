@@ -1,0 +1,106 @@
+package word2vec
+
+import (
+	"testing"
+)
+
+func trainSmall(t *testing.T) *Model {
+	t.Helper()
+	sents := [][]int32{
+		{0, 1, 2}, {0, 1, 3}, {2, 3, 0}, {1, 2, 3},
+		{0, 2, 1}, {3, 1, 0}, {2, 0, 3}, {1, 3, 2},
+	}
+	return Train(sents, Options{Dim: 8, Epochs: 3, Seed: 7, Workers: 1})
+}
+
+func TestFineTuneNoNewTokensReturnsSameModel(t *testing.T) {
+	m := trainSmall(t)
+	ft := m.FineTune([][]int32{{0, 1, 2}, {3, 0, 1}}, Options{Epochs: 2, Seed: 7, Workers: 1})
+	if ft != m {
+		t.Fatal("fine-tune without new tokens must return the model unchanged")
+	}
+}
+
+func TestFineTuneFreezesOldVectors(t *testing.T) {
+	m := trainSmall(t)
+	beforeVecs := append([]float32(nil), m.VectorData()...)
+	beforeCtx := append([]float32(nil), m.ContextData()...)
+
+	// Token 9 is new; it appears alongside old tokens.
+	ft := m.FineTune([][]int32{{9, 0, 1}, {2, 9, 3}, {9, 1, 0}}, Options{Epochs: 3, Seed: 11, Workers: 1})
+	if ft == m {
+		t.Fatal("fine-tune with a new token returned the same model")
+	}
+	if ft.VocabSize() != m.VocabSize()+1 {
+		t.Fatalf("vocab = %d, want %d", ft.VocabSize(), m.VocabSize()+1)
+	}
+	// The source model is untouched.
+	for i, v := range m.VectorData() {
+		if v != beforeVecs[i] {
+			t.Fatalf("source input vector mutated at %d", i)
+		}
+	}
+	for i, v := range m.ContextData() {
+		if v != beforeCtx[i] {
+			t.Fatalf("source context vector mutated at %d", i)
+		}
+	}
+	// Old vectors in the fine-tuned model are byte-identical to the source.
+	oldFloats := m.VocabSize() * m.Dim()
+	for i := 0; i < oldFloats; i++ {
+		if ft.VectorData()[i] != beforeVecs[i] {
+			t.Fatalf("old input vector changed at %d: %v -> %v", i, beforeVecs[i], ft.VectorData()[i])
+		}
+		if ft.ContextData()[i] != beforeCtx[i] {
+			t.Fatalf("old context vector changed at %d", i)
+		}
+	}
+	// Old tokens keep their dense indices; the new token is appended.
+	for _, tok := range m.Tokens() {
+		if ft.Index(tok) != m.Index(tok) {
+			t.Fatalf("token %d moved: %d -> %d", tok, m.Index(tok), ft.Index(tok))
+		}
+	}
+	if ft.Index(9) != int32(m.VocabSize()) {
+		t.Fatalf("new token index = %d, want %d", ft.Index(9), m.VocabSize())
+	}
+	// The new token actually trained: non-zero vector, non-zero association
+	// with the tokens it co-occurred with.
+	nv := ft.Vector(9)
+	if nv == nil {
+		t.Fatal("new token has no vector")
+	}
+	allZero := true
+	for _, v := range nv {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("new token vector never trained")
+	}
+}
+
+func TestFineTuneDeterministicSingleWorker(t *testing.T) {
+	m := trainSmall(t)
+	sents := [][]int32{{5, 0, 1}, {5, 2, 3}, {0, 5, 1}}
+	opt := Options{Epochs: 2, Seed: 13, Workers: 1}
+	a := m.FineTune(sents, opt)
+	b := m.FineTune(sents, opt)
+	for i := range a.VectorData() {
+		if a.VectorData()[i] != b.VectorData()[i] {
+			t.Fatalf("fine-tune not deterministic at %d", i)
+		}
+	}
+}
+
+func TestFineTuneEmptyModel(t *testing.T) {
+	m := Train(nil, Options{Dim: 8, Seed: 1, Workers: 1})
+	ft := m.FineTune([][]int32{{1, 2}, {2, 3}}, Options{Epochs: 2, Seed: 3, Workers: 1})
+	if ft.VocabSize() != 3 {
+		t.Fatalf("vocab = %d, want 3", ft.VocabSize())
+	}
+	if ft.Dim() != 8 {
+		t.Fatalf("dim = %d, want 8", ft.Dim())
+	}
+}

@@ -193,6 +193,29 @@ func SaveModelFile(path string, m *Model) error { return modelio.SaveFile(path, 
 // LoadModelFile reads a model written by SaveModelFile.
 func LoadModelFile(path string) (*Model, error) { return modelio.LoadFile(path) }
 
+// AppendOptions configures incremental row ingestion (drift threshold,
+// fine-tune epochs, forced re-bin).
+type AppendOptions = core.AppendOptions
+
+// AppendStats describes what an AppendRows call did: rows ingested, whether
+// the table drifted into a full re-preprocess, new categories/tokens, and
+// how much cached state was recomputed.
+type AppendStats = core.AppendStats
+
+// AppendRows ingests additional rows (schema-compatible with the model's
+// table) and returns a model over the concatenated table — the streaming
+// counterpart of Preprocess. The input model is never mutated, so selections
+// against it can proceed while the append runs. Bin boundaries, embedding
+// vectors, bin counts, the column-affinity matrix and the full-table vector
+// cache are reused incrementally; when the appended rows drift too far from
+// the binned distribution (or are structurally incompatible with the
+// binning), the call transparently falls back to a full Preprocess of the
+// concatenated table and says so in AppendStats. The zero AppendOptions
+// uses the documented defaults.
+func AppendRows(m *Model, rows *Table, opt AppendOptions) (*Model, AppendStats, error) {
+	return m.Append(rows, opt)
+}
+
 // Rule is a mined association rule over binned items.
 type Rule = rules.Rule
 
