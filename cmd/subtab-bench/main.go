@@ -1,12 +1,18 @@
 // Command subtab-bench seeds and extends the repository's performance
 // trajectory: it runs the key pipeline benchmarks (Fig. 9 preprocess and
-// selection, k-means over row vectors, and the serving layer's cold / disk /
-// warm paths) in-process via testing.Benchmark and merges the results into a
-// JSON file under a label, so successive PRs can record before/after numbers
-// measured by the exact same harness:
+// selection, k-means over row vectors, the serving layer's cold / disk /
+// warm paths, and the large-table selection scenarios) in-process via
+// testing.Benchmark and merges the results into a JSON file under a label,
+// so successive PRs can record before/after numbers measured by the exact
+// same harness:
 //
-//	subtab-bench -label baseline -out BENCH_PR3.json   # before a change
-//	subtab-bench -label current  -out BENCH_PR3.json   # after
+//	subtab-bench -label baseline -out BENCH_PR4.json   # before a change
+//	subtab-bench -label current  -out BENCH_PR4.json   # after
+//
+// The -suite flag picks what runs: "core" is the historical set over the
+// 3000-row FL table, "large" is the Fig9SelectLarge set (exact-path 100k
+// baseline, scaled 100k, scaled 1M — the interactivity claim for
+// million-row tables), "all" runs both.
 //
 // The file maps label -> benchmark -> {ns_per_op, bytes_per_op,
 // allocs_per_op, n}; existing labels other than the one being written are
@@ -59,11 +65,58 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("subtab-bench: ")
 	var (
-		out   = flag.String("out", "BENCH_PR3.json", "JSON file to merge results into")
+		out   = flag.String("out", "BENCH_PR4.json", "JSON file to merge results into")
 		label = flag.String("label", "current", "label to record results under")
+		suite = flag.String("suite", "all", "benchmark suite: core, large, or all")
 	)
 	flag.Parse()
 
+	results := map[string]entry{}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results[name] = record(r)
+		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
+			name, results[name].NsPerOp, results[name].BytesPerOp, results[name].AllocsPerOp, r.N)
+	}
+	switch *suite {
+	case "core":
+		runCoreSuite(run)
+	case "large":
+		runLargeSuite(run)
+	case "all":
+		runCoreSuite(run)
+		runLargeSuite(run)
+	default:
+		log.Fatalf("unknown -suite %q: want core, large or all", *suite)
+	}
+
+	merged := map[string]map[string]entry{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			log.Fatalf("existing %s is not a bench file: %v", *out, err)
+		}
+	}
+	// Merge per benchmark, not per label: partial runs (-suite core, then
+	// -suite large) under one label accumulate instead of discarding the
+	// other suite's numbers.
+	if merged[*label] == nil {
+		merged[*label] = map[string]entry{}
+	}
+	for name, e := range results {
+		merged[*label][name] = e
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %q results to %s", *label, *out)
+}
+
+// runCoreSuite is the historical benchmark set over the 3000-row FL table.
+func runCoreSuite(run func(name string, fn func(b *testing.B))) {
 	ds, err := datagen.ByName("FL", 3000, 1)
 	if err != nil {
 		log.Fatal(err)
@@ -72,14 +125,6 @@ func main() {
 	model, err := subtab.Preprocess(ds.T, opt)
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	results := map[string]entry{}
-	run := func(name string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
-		results[name] = record(r)
-		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
-			name, results[name].NsPerOp, results[name].BytesPerOp, results[name].AllocsPerOp, r.N)
 	}
 
 	// Fig. 9: the one-off pre-processing cost vs the per-display cost — the
@@ -201,22 +246,73 @@ func main() {
 			}
 		}
 	})
+}
 
-	merged := map[string]map[string]entry{}
-	if data, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(data, &merged); err != nil {
-			log.Fatalf("existing %s is not a bench file: %v", *out, err)
+// largePipelineOptions is the pipeline for the large-selection scenarios:
+// selection cost does not depend on embedding quality, so training is cut to
+// one epoch at dim 16 to keep the one-off 100k/1M pre-processing (which is
+// setup here, not the thing measured) affordable on the bench box.
+func largePipelineOptions() subtab.Options {
+	opt := subtab.DefaultOptions()
+	opt.Bins.Seed = 1
+	opt.Corpus.Seed = 1
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 1, Seed: 1}
+	opt.ClusterSeed = 1
+	return opt
+}
+
+// runLargeSuite measures the Fig9SelectLarge scenarios: a full Select on
+// 100k rows down the exact path (the baseline the scaled mode must beat by
+// >= 5x at equal k) and down the scaled path, then the scaled path on a
+// million rows (the interactivity claim: a full Select under 2s on the
+// 1-vCPU bench box).
+func runLargeSuite(run func(name string, fn func(b *testing.B))) {
+	scale := &subtab.ScaleOptions{Threshold: 50_000} // budget/batch/iters: defaults
+
+	largeModel := func(rows int) *subtab.Model {
+		ds, err := datagen.ByName("FL", rows, 1)
+		if err != nil {
+			log.Fatal(err)
 		}
+		m, err := subtab.Preprocess(ds.T, largePipelineOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
 	}
-	merged[*label] = results
-	data, err := json.MarshalIndent(merged, "", "  ")
-	if err != nil {
+
+	log.Printf("preprocessing FL 100k (setup)")
+	m100k := largeModel(100_000)
+	if _, err := m100k.Select(10, 10, nil); err != nil { // warm the vector cache
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("wrote %q results to %s", *label, *out)
+	run("Fig9Select100kExact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m100k.Select(10, 10, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("Fig9SelectLarge/100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m100k.SelectWith(nil, 10, 10, nil, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	log.Printf("preprocessing FL 1M (setup)")
+	m1m := largeModel(1_000_000)
+	run("Fig9SelectLarge/1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m1m.SelectWith(nil, 10, 10, nil, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // rowVectorMatrix reproduces the Select path's input: one mean-pooled

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	subtab-datagen -dataset FL -rows 60000 -seed 1 -out flights.csv
+//
+// The -rows knob scales any dataset to stress size; it accepts k/M suffixes
+// so emitting the large-selection workloads is one flag:
+//
+//	subtab-datagen -dataset FL -rows 1M -out flights-1m.csv
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"subtab"
@@ -23,14 +29,18 @@ func main() {
 
 	var (
 		dataset = flag.String("dataset", "FL", "dataset: "+strings.Join(subtab.DatasetNames(), ", "))
-		rows    = flag.Int("rows", 0, "row count (0 = dataset default)")
+		rows    = flag.String("rows", "0", "row count, with optional k/M suffix, e.g. 100k or 1M (0 = dataset default)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output CSV path (default <dataset>.csv)")
 		info    = flag.Bool("info", false, "print the dataset's planted patterns and exit")
 	)
 	flag.Parse()
 
-	ds, err := subtab.GenerateDataset(*dataset, *rows, *seed)
+	n, err := parseRows(*rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := subtab.GenerateDataset(*dataset, n, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,4 +61,21 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d rows x %d columns\n", path, ds.T.NumRows(), ds.T.NumCols())
 	_ = os.Stdout.Sync()
+}
+
+// parseRows parses the -rows value: a plain integer, or one with a k/M
+// scale suffix (case-insensitive), e.g. 100k = 100_000, 1M = 1_000_000.
+func parseRows(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"), strings.HasSuffix(s, "M"):
+		mult, s = 1_000_000, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("-rows: want an integer with optional k/M suffix, got %q", s)
+	}
+	return n * mult, nil
 }

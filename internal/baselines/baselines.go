@@ -24,6 +24,7 @@ import (
 	"subtab/internal/binning"
 	"subtab/internal/bitset"
 	"subtab/internal/cluster"
+	"subtab/internal/f32"
 	"subtab/internal/metrics"
 	"subtab/internal/word2vec"
 )
@@ -241,9 +242,10 @@ func NaiveClustering(e *metrics.Evaluator, opt NCOptions) (*Result, error) {
 		}
 		rowVecs[i] = v
 	}
-	rowRes := cluster.KMeans(rowVecs, opt.K, cluster.Options{Seed: opt.Seed})
+	rowMat := f32.FromRows(rowVecs)
+	rowRes := cluster.KMeansMatrix(rowMat, opt.K, cluster.Options{Seed: opt.Seed})
 	rows := make([]int, 0, opt.K)
-	for _, i := range rowRes.Representatives(rowVecs) {
+	for _, i := range rowRes.RepresentativesMatrix(rowMat) {
 		rows = append(rows, rowPool[i])
 	}
 	sort.Ints(rows)
@@ -272,8 +274,9 @@ func NaiveClustering(e *metrics.Evaluator, opt NCOptions) (*Result, error) {
 			}
 			colVecs[i] = v
 		}
-		colRes := cluster.KMeans(colVecs, need, cluster.Options{Seed: opt.Seed + 1})
-		for _, i := range colRes.Representatives(colVecs) {
+		colMat := f32.FromRows(colVecs)
+		colRes := cluster.KMeansMatrix(colMat, need, cluster.Options{Seed: opt.Seed + 1})
+		for _, i := range colRes.RepresentativesMatrix(colMat) {
 			cols = append(cols, candCols[i])
 		}
 	}
@@ -688,8 +691,9 @@ func EmbDI(e *metrics.Evaluator, opt EmbDIOptions) (*Result, error) {
 		}
 		rowVecs[r] = v
 	}
-	rowRes := cluster.KMeans(rowVecs, opt.K, cluster.Options{Seed: opt.Seed})
-	rows := rowRes.Representatives(rowVecs)
+	rowMat := f32.FromRows(rowVecs)
+	rowRes := cluster.KMeansMatrix(rowMat, opt.K, cluster.Options{Seed: opt.Seed})
+	rows := rowRes.RepresentativesMatrix(rowMat)
 
 	inTarget := make(map[int]bool, len(tIdx))
 	for _, c := range tIdx {
@@ -711,8 +715,9 @@ func EmbDI(e *metrics.Evaluator, opt EmbDIOptions) (*Result, error) {
 			}
 			colVecs[i] = v
 		}
-		colRes := cluster.KMeans(colVecs, need, cluster.Options{Seed: opt.Seed + 1})
-		for _, i := range colRes.Representatives(colVecs) {
+		colMat := f32.FromRows(colVecs)
+		colRes := cluster.KMeansMatrix(colMat, need, cluster.Options{Seed: opt.Seed + 1})
+		for _, i := range colRes.RepresentativesMatrix(colMat) {
 			cols = append(cols, candCols[i])
 		}
 	}

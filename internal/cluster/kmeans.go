@@ -124,27 +124,7 @@ func KMeansMatrix(pts f32.Matrix, k int, opt Options) *Result {
 		for _, c := range assign {
 			sizes[c]++
 		}
-		// Empty-cluster repair: seize the point farthest from its center.
-		for c := 0; c < k; c++ {
-			if sizes[c] > 0 {
-				continue
-			}
-			far, farD := -1, -1.0
-			for i := 0; i < n; i++ {
-				if sizes[assign[i]] <= 1 {
-					continue
-				}
-				d := f32.SqDist(pts.Row(i), centers.Row(assign[i]))
-				if d > farD {
-					far, farD = i, d
-				}
-			}
-			if far >= 0 {
-				sizes[assign[far]]--
-				assign[far] = c
-				sizes[c] = 1
-			}
-		}
+		repairEmptyClusters(pts, centers, assign, sizes)
 		// Update step, serial: summing points in index order is part of the
 		// bit-determinism contract (float addition is not associative).
 		f32.Zero(next.Data)
@@ -179,10 +159,41 @@ func KMeansMatrix(pts f32.Matrix, k int, opt Options) *Result {
 	return &Result{K: k, Assign: assign, Centers: centers.Rows(), Sizes: sizes, Iterations: iter}
 }
 
+// repairEmptyClusters reassigns, for every empty cluster, the point farthest
+// from its current center (never stealing a singleton). The scan is serial
+// in index order — first-found farthest wins on exact ties — so the repair
+// is deterministic and shared bit-for-bit by the exact and mini-batch paths.
+func repairEmptyClusters(pts, centers f32.Matrix, assign, sizes []int) {
+	n := pts.R
+	for c := range sizes {
+		if sizes[c] > 0 {
+			continue
+		}
+		far, farD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if sizes[assign[i]] <= 1 {
+				continue
+			}
+			d := f32.SqDist(pts.Row(i), centers.Row(assign[i]))
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		if far >= 0 {
+			sizes[assign[far]]--
+			assign[far] = c
+			sizes[c] = 1
+		}
+	}
+}
+
 // Representatives returns, for each cluster, the index of the point nearest
 // its centroid — the "centroid selection" of Algorithm 2. Clusters are
 // ordered by descending size so that callers taking a prefix favour the
 // dominant patterns; empty clusters are skipped.
+//
+// Deprecated: use RepresentativesMatrix, which takes the pipeline's native
+// flat matrix and avoids the slice-of-slices packing copy.
 func (r *Result) Representatives(points [][]float32) []int {
 	return r.RepresentativesMatrix(f32.FromRows(points))
 }
@@ -253,12 +264,23 @@ func (r *Result) RepresentativesMatrix(pts f32.Matrix) []int {
 // dispersion). Centrality keeps representatives typical of their pattern;
 // the dispersion tie-break keeps the selected set visibly diverse — the two
 // goals of the paper's centroid-based selection.
+//
+// Deprecated: use RepresentativesDispersedMatrix, which takes the pipeline's
+// native flat matrix and avoids the slice-of-slices packing copy.
 func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
+	return r.RepresentativesDispersedMatrix(f32.FromRows(points), q)
+}
+
+// RepresentativesDispersedMatrix is RepresentativesDispersed over a flat
+// matrix (no packing). The greedy dispersion scan is serial in cluster-size
+// order with index-order tie-breaks, so the selection is one fixed function
+// of (clustering, pts, q).
+func (r *Result) RepresentativesDispersedMatrix(pts f32.Matrix, q int) []int {
 	if r.K == 0 {
 		return nil
 	}
 	if q <= 1 {
-		return r.Representatives(points)
+		return r.RepresentativesMatrix(pts)
 	}
 	// Per cluster: the q members nearest the centroid.
 	type cand struct {
@@ -266,9 +288,9 @@ func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
 		d   float64
 	}
 	cands := make([][]cand, r.K)
-	for i, p := range points {
+	for i := 0; i < pts.R; i++ {
 		c := r.Assign[i]
-		cands[c] = append(cands[c], cand{i, f32.SqDist(p, r.Centers[c])})
+		cands[c] = append(cands[c], cand{i, f32.SqDist(pts.Row(i), r.Centers[c])})
 	}
 	for c := range cands {
 		sort.Slice(cands[c], func(x, y int) bool { return cands[c][x].d < cands[c][y].d })
@@ -295,7 +317,7 @@ func (r *Result) RepresentativesDispersed(points [][]float32, q int) []int {
 		for _, cd := range cands[c] {
 			minD := math.Inf(1)
 			for _, sel := range out {
-				if d := f32.SqDist(points[cd.idx], points[sel]); d < minD {
+				if d := f32.SqDist(pts.Row(cd.idx), pts.Row(sel)); d < minD {
 					minD = d
 				}
 			}

@@ -63,6 +63,10 @@ type Options struct {
 	Columns ColumnStrategy
 	// ClusterSeed drives the k-means initializations during selection.
 	ClusterSeed int64
+	// Scale configures the large-table selection mode (mini-batch k-means
+	// over a stratified candidate sample above a row-count threshold). The
+	// zero value keeps every selection on the exact path.
+	Scale ScaleOptions
 }
 
 // Default returns the default settings: the paper's binning and corpus cap,
@@ -112,6 +116,15 @@ type Model struct {
 	// default settings (classic amortization: the occasional full re-bin
 	// stays O(1) per appended row).
 	appendedSinceRebin int
+
+	// sampleCache memoizes the scaled path's full-table candidate samples
+	// by budget: the stratified reservoir is a pure function of (binning,
+	// budget, seed), and warm serving issues many scaled selections over
+	// the same model, so the one scan that dominates a scaled select's cost
+	// runs once per (model, budget) instead of once per display.
+	// Query-restricted selections always sample per call.
+	sampleMu    sync.Mutex
+	sampleCache map[int][]int
 
 	// fullVecs caches the tuple-vectors of every row over all columns
 	// (built lazily on the first selection that needs them). Full-table
@@ -363,15 +376,7 @@ func (s *SubTable) AsMetricSubTable() metrics.SubTable {
 
 // Select runs the selection phase on the whole table (Q = NULL in Alg. 2).
 func (m *Model) Select(k, l int, targets []string) (*SubTable, error) {
-	rows := make([]int, m.T.NumRows())
-	for i := range rows {
-		rows[i] = i
-	}
-	cols := make([]int, m.T.NumCols())
-	for i := range cols {
-		cols[i] = i
-	}
-	return m.selectFrom(rows, cols, k, l, targets)
+	return m.SelectWith(nil, k, l, targets, nil)
 }
 
 // SelectQuery runs the selection phase on the result of q. Selection and
@@ -379,8 +384,28 @@ func (m *Model) Select(k, l int, targets []string) (*SubTable, error) {
 // result row is represented by its group's first source row (aggregate cells
 // do not exist in T and therefore have no embedding).
 func (m *Model) SelectQuery(q *query.Query, k, l int, targets []string) (*SubTable, error) {
+	return m.SelectWith(q, k, l, targets, nil)
+}
+
+// SelectWith is Select/SelectQuery with a per-call override of the
+// large-table mode: scale nil uses the model's configured Options.Scale,
+// anything else replaces it for this call only (serving layers expose it as
+// a request knob). q nil selects over the whole table.
+func (m *Model) SelectWith(q *query.Query, k, l int, targets []string, scale *ScaleOptions) (*SubTable, error) {
+	sc := m.Opt.Scale
+	if scale != nil {
+		sc = *scale
+	}
 	if q == nil {
-		return m.Select(k, l, targets)
+		rows := make([]int, m.T.NumRows())
+		for i := range rows {
+			rows[i] = i
+		}
+		cols := make([]int, m.T.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+		return m.selectFrom(rows, cols, k, l, targets, sc)
 	}
 	res, srcRows, err := q.Apply(m.T)
 	if err != nil {
@@ -401,11 +426,11 @@ func (m *Model) SelectQuery(q *query.Query, k, l int, targets []string) (*SubTab
 			cols[i] = i
 		}
 	}
-	return m.selectFrom(srcRows, cols, k, l, targets)
+	return m.selectFrom(srcRows, cols, k, l, targets, sc)
 }
 
 // selectFrom clusters the candidate rows and columns and picks centroids.
-func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTable, error) {
+func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale ScaleOptions) (*SubTable, error) {
 	if k <= 0 || l <= 0 {
 		return nil, fmt.Errorf("core: sub-table dimensions must be positive, got %dx%d", k, l)
 	}
@@ -436,9 +461,24 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTa
 	// only on the column set); anything else fills a pooled slab in
 	// parallel — every row writes only its own matrix row, so the fill is
 	// deterministic at any worker count.
+	//
+	// Above the scale threshold the candidate set is first cut to a
+	// deterministic stratified sample and clustered with seeded mini-batch
+	// k-means; everything downstream (diversity re-rank, column selection)
+	// runs over the sampled candidates only, then maps representatives back
+	// to real row ids.
 	dim := m.Emb.Dim()
+	candRows := rows
 	var rowVecs f32.Matrix
-	if identityCols(cols, m.T.NumCols()) {
+	var rowRes *cluster.Result
+	if scale.Active(len(rows)) {
+		scale = scale.withDefaults()
+		candRows = m.sampleCandidates(rows, cols, scale.SampleBudget)
+		vecs, done := m.sampledRowVectors(candRows, cols)
+		defer done()
+		rowVecs = vecs
+		rowRes = m.scaledRowClustering(rowVecs, k, scale)
+	} else if identityCols(cols, m.T.NumCols()) {
 		full := m.fullRowVectors()
 		if len(rows) == m.T.NumRows() && identityRows(rows) {
 			rowVecs = full
@@ -446,9 +486,7 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTa
 			buf := getVecBuf(len(rows) * dim)
 			defer putVecBuf(buf)
 			rowVecs = f32.Wrap(len(rows), dim, *buf)
-			for i, r := range rows {
-				copy(rowVecs.Row(i), full.Row(r))
-			}
+			f32.GatherRows(rowVecs, full, rows)
 		}
 	} else {
 		buf := getVecBuf(len(rows) * dim)
@@ -461,11 +499,13 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTa
 			}
 		})
 	}
-	rowRes := cluster.KMeansMatrix(rowVecs, k, cluster.Options{Seed: m.Opt.ClusterSeed})
-	repIdx := m.diverseRepresentatives(rowRes, rowVecs, rows, cols, 16)
+	if rowRes == nil {
+		rowRes = cluster.KMeansMatrix(rowVecs, k, cluster.Options{Seed: m.Opt.ClusterSeed})
+	}
+	repIdx := m.diverseRepresentatives(rowRes, rowVecs, candRows, cols, 16)
 	selRows := make([]int, 0, len(repIdx))
 	for _, i := range repIdx {
-		selRows = append(selRows, rows[i])
+		selRows = append(selRows, candRows[i])
 	}
 
 	// Column selection: targets are forced; the rest of the budget is spent
@@ -482,11 +522,14 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string) (*SubTa
 		selColSet[c] = true
 	}
 	if need > 0 && len(candCols) > 0 {
+		// Column vectors average over candidate rows: on the scaled path
+		// that is the stratified sample, which keeps the column step
+		// O(SampleBudget) per column too.
 		var picked []int
 		if m.Opt.Columns == Centroids {
-			picked = m.centroidColumns(candCols, rows, need)
+			picked = m.centroidColumns(candCols, candRows, need)
 		} else {
-			picked = m.patternGroupColumns(candCols, rows, need)
+			picked = m.patternGroupColumns(candCols, candRows, need)
 		}
 		for _, c := range picked {
 			selColSet[c] = true

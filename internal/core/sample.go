@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+
+	"subtab/internal/binning"
+)
+
+// stratifiedReservoir deterministically samples up to budget candidate rows
+// for the scaled selection path. Strata are the (column, bin) items of the
+// candidate rows over the given columns:
+//
+//   - Phase 1 (coverage) keeps, for every stratum that is non-empty among
+//     the candidates, the row of smallest hash within the stratum — so rare
+//     bins (rare categories, outlier numeric regimes) survive sampling no
+//     matter how skewed the table is. When the stratum count itself exceeds
+//     the budget, strata are served in ascending item-id order.
+//   - Phase 2 (fill) spends the remaining budget on the rows with the
+//     globally smallest hashes, which is a uniform reservoir over the
+//     leftover candidates.
+//
+// Both phases rank rows by one seeded per-row hash (computed once — the
+// per-cell work of the dominant phase-1 scan is then a uint16 read and a
+// compare, which is what keeps a 31-column million-row scan in the low
+// hundreds of milliseconds on one core) rather than by sequential rng
+// draws, so the sample is one fixed function of (binning, rows, cols,
+// budget, seed) — no iteration-order or scheduling dependence — and any
+// candidate subset of a table samples consistently. The result is sorted
+// ascending and duplicate-free; a candidate set no larger than the budget
+// is returned whole (sorted).
+func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed int64) []int {
+	if budget <= 0 || len(rows) <= budget {
+		out := make([]int, len(rows))
+		copy(out, rows)
+		sort.Ints(out)
+		return out
+	}
+
+	rowH := make([]uint64, len(rows))
+	for i, r := range rows {
+		rowH[i] = sampleHash(seed, r)
+	}
+
+	// Phase 1: per-stratum min-hash representative. The stratum space is the
+	// global item-id space restricted to cols; NumItems is small (columns ×
+	// bins), so flat slots beat a map.
+	bestRow := make([]int, b.NumItems())
+	bestHash := make([]uint64, b.NumItems())
+	for s := range bestRow {
+		bestRow[s] = -1
+	}
+	for _, c := range cols {
+		base := b.ItemOf(c, 0)
+		codes := b.Codes[c]
+		for i, r := range rows {
+			s := base + int32(codes[r])
+			h := rowH[i]
+			if bestRow[s] < 0 || h < bestHash[s] || (h == bestHash[s] && r < bestRow[s]) {
+				bestRow[s], bestHash[s] = r, h
+			}
+		}
+	}
+	picked := make(map[int]bool, budget)
+	sample := make([]int, 0, budget)
+	for s := range bestRow {
+		if len(sample) >= budget {
+			break
+		}
+		r := bestRow[s]
+		if r < 0 || picked[r] {
+			continue
+		}
+		picked[r] = true
+		sample = append(sample, r)
+	}
+
+	// Phase 2: uniform fill — the (budget - coverage) rows with the smallest
+	// row-keyed hashes, via a bounded max-heap so million-row candidate sets
+	// need no full sort. Ties break toward the lower row id.
+	if rem := budget - len(sample); rem > 0 {
+		heapH := make([]uint64, 0, rem)
+		heapR := make([]int, 0, rem)
+		greater := func(i, j int) bool {
+			if heapH[i] != heapH[j] {
+				return heapH[i] > heapH[j]
+			}
+			return heapR[i] > heapR[j]
+		}
+		siftDown := func(i int) {
+			for {
+				l, rch := 2*i+1, 2*i+2
+				big := i
+				if l < len(heapH) && greater(l, big) {
+					big = l
+				}
+				if rch < len(heapH) && greater(rch, big) {
+					big = rch
+				}
+				if big == i {
+					return
+				}
+				heapH[i], heapH[big] = heapH[big], heapH[i]
+				heapR[i], heapR[big] = heapR[big], heapR[i]
+				i = big
+			}
+		}
+		for i, r := range rows {
+			if picked[r] {
+				continue
+			}
+			h := rowH[i]
+			if len(heapH) < rem {
+				heapH = append(heapH, h)
+				heapR = append(heapR, r)
+				for i := len(heapH) - 1; i > 0; {
+					p := (i - 1) / 2
+					if !greater(i, p) {
+						break
+					}
+					heapH[i], heapH[p] = heapH[p], heapH[i]
+					heapR[i], heapR[p] = heapR[p], heapR[i]
+					i = p
+				}
+				continue
+			}
+			if h > heapH[0] || (h == heapH[0] && r > heapR[0]) {
+				continue
+			}
+			heapH[0], heapR[0] = h, r
+			siftDown(0)
+		}
+		sample = append(sample, heapR...)
+	}
+	sort.Ints(sample)
+	return sample
+}
+
+// sampleHash maps (seed, row) to a uniform 64-bit value with a
+// splitmix64-style finalizer.
+func sampleHash(seed int64, row int) uint64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(row)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

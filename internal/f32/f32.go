@@ -201,6 +201,27 @@ func MeanPoolInto(dst []float32, src Matrix, rows []int32) int {
 	return n
 }
 
+// GatherRows copies the selected rows of src into dst (dst row i receives
+// src row rows[i]). Both matrices must share the column count and dst must
+// have len(rows) rows. The copies are plain memmoves fanned out across
+// workers with disjoint destination rows, so the gather is deterministic at
+// any worker count. This is the sampled-row path of the selection pipeline:
+// a candidate sample of a warm full-table vector cache is a row gather, not
+// a recompute.
+func GatherRows(dst, src Matrix, rows []int) {
+	if dst.C != src.C {
+		panic("f32: GatherRows: column counts differ")
+	}
+	if dst.R != len(rows) {
+		panic("f32: GatherRows: destination rows do not match index count")
+	}
+	ParallelRange(len(rows), Workers(len(rows)), func(start, end int) {
+		for i := start; i < end; i++ {
+			copy(dst.Row(i), src.Row(rows[i]))
+		}
+	})
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic parallel iteration.
 

@@ -48,8 +48,12 @@ import (
 // matrix, so the streaming append path (core.Model.Append) stays
 // incremental across a save/load cycle instead of re-scanning the table
 // for its drift baseline; files from versions 1 and 2 still load, with the
-// counts rebuilt lazily on first use.
-const Version uint16 = 3
+// counts rebuilt lazily on first use. Version 4 appends the large-table
+// scale options (threshold, sample budget, batch size, max iterations) to
+// the Options section, so a model saved with the scaled selection mode
+// configured keeps it after a load; files from versions 1-3 load with the
+// mode disabled (the historical behaviour).
+const Version uint16 = 4
 
 var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
 
@@ -116,10 +120,12 @@ func Load(r io.Reader) (*core.Model, error) {
 	if d.err != nil || gotMagic != magic {
 		return nil, ErrBadMagic
 	}
-	// Versions 1 and 2 are accepted: v2 only changed the in-memory endpoints
-	// of the codec, and v3 only appended the bin-count section, so older
-	// disk caches keep serving (byte-identical selections included) across
-	// upgrades — v1/v2 models just rebuild their counts lazily.
+	// All prior versions are accepted: v2 only changed the in-memory
+	// endpoints of the codec, v3 appended the bin-count section, and v4
+	// appended the scale options — so older disk caches keep serving
+	// (byte-identical selections included) across upgrades; v1/v2 models
+	// rebuild their counts lazily, and pre-v4 models load with the
+	// large-table mode disabled.
 	v := d.u16()
 	if d.err != nil || v < 1 || v > Version {
 		if d.err != nil {
@@ -127,7 +133,7 @@ func Load(r io.Reader) (*core.Model, error) {
 		}
 		return nil, fmt.Errorf("%w: file version %d, this build reads versions 1-%d", ErrVersion, v, Version)
 	}
-	opt := readOptions(d)
+	opt := readOptions(d, v)
 	t := readTable(d)
 	b := readBinned(d, t)
 	emb := readEmbedding(d)
@@ -198,9 +204,13 @@ func writeOptions(e *encoder, o core.Options) {
 	e.i64(int64(o.Embedding.Workers))
 	e.i64(int64(o.Columns))
 	e.i64(o.ClusterSeed)
+	e.i64(int64(o.Scale.Threshold))
+	e.i64(int64(o.Scale.SampleBudget))
+	e.i64(int64(o.Scale.BatchSize))
+	e.i64(int64(o.Scale.MaxIter))
 }
 
-func readOptions(d *decoder) core.Options {
+func readOptions(d *decoder, v uint16) core.Options {
 	var o core.Options
 	o.Bins.MaxBins = int(d.i64())
 	o.Bins.Strategy = binning.Strategy(d.i64())
@@ -220,6 +230,14 @@ func readOptions(d *decoder) core.Options {
 	o.Embedding.Workers = int(d.i64())
 	o.Columns = core.ColumnStrategy(d.i64())
 	o.ClusterSeed = d.i64()
+	// The scale section exists from version 4 on; older files predate the
+	// large-table mode and load with it disabled.
+	if v >= 4 {
+		o.Scale.Threshold = int(d.i64())
+		o.Scale.SampleBudget = int(d.i64())
+		o.Scale.BatchSize = int(d.i64())
+		o.Scale.MaxIter = int(d.i64())
+	}
 	return o
 }
 

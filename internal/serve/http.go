@@ -262,6 +262,10 @@ func pipelineOptions(base core.Options, qp map[string][]string) (*core.Options, 
 		"window":  &opt.Embedding.Window,
 		"epochs":  &opt.Embedding.Epochs,
 		"workers": &opt.Embedding.Workers,
+		// Large-table mode defaults for every select against this table
+		// (overridable per request via the select body's scale block).
+		"scale_threshold": &opt.Scale.Threshold,
+		"scale_budget":    &opt.Scale.SampleBudget,
 	}
 	for key, dst := range intKnobs {
 		if v, ok := get(key); ok {
@@ -306,12 +310,37 @@ func pipelineOptions(base core.Options, qp map[string][]string) (*core.Options, 
 
 // selectRequest is the body of /select and /query. K and L default to 10
 // when omitted; Query is required for /query and ignored for /select.
+// Scale, when present, overrides the served model's large-table selection
+// mode for this request only (see core.ScaleOptions).
 type selectRequest struct {
 	K         int       `json:"k"`
 	L         int       `json:"l"`
 	Targets   []string  `json:"targets"`
 	Highlight bool      `json:"highlight"`
 	Query     *queryDTO `json:"query"`
+	Scale     *scaleDTO `json:"scale"`
+}
+
+// scaleDTO is the JSON shape of core.ScaleOptions. threshold 0 disables the
+// scaled path for the request (the explicit way to force exact selection on
+// a model configured with a threshold); threshold 1 forces it.
+type scaleDTO struct {
+	Threshold    int `json:"threshold"`
+	SampleBudget int `json:"sample_budget"`
+	BatchSize    int `json:"batch_size"`
+	MaxIter      int `json:"max_iter"`
+}
+
+func (d *scaleDTO) toOptions() (*core.ScaleOptions, error) {
+	if d.Threshold < 0 || d.SampleBudget < 0 || d.BatchSize < 0 || d.MaxIter < 0 {
+		return nil, fmt.Errorf("scale: all knobs must be non-negative")
+	}
+	return &core.ScaleOptions{
+		Threshold:    d.Threshold,
+		SampleBudget: d.SampleBudget,
+		BatchSize:    d.BatchSize,
+		MaxIter:      d.MaxIter,
+	}, nil
 }
 
 type subTableResponse struct {
@@ -357,8 +386,16 @@ func (h *api) doSelect(w http.ResponseWriter, r *http.Request, withQuery bool) {
 			return
 		}
 	}
+	var scale *core.ScaleOptions
+	if req.Scale != nil {
+		var err error
+		if scale, err = req.Scale.toOptions(); err != nil {
+			writeBadRequest(w, "%v", err)
+			return
+		}
+	}
 	start := time.Now()
-	st, err := h.svc.Select(name, q, req.K, req.L, req.Targets)
+	st, err := h.svc.SelectScaled(name, q, req.K, req.L, req.Targets, scale)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -185,11 +185,20 @@ func (s *Service) info(name string) TableInfo {
 // Select picks a k×l sub-table of the named table, optionally restricted to
 // a query result (q nil selects over the whole table).
 func (s *Service) Select(name string, q *query.Query, k, l int, targets []string) (*core.SubTable, error) {
+	return s.SelectScaled(name, q, k, l, targets, nil)
+}
+
+// SelectScaled is Select with a per-request override of the large-table
+// selection mode: scale nil uses the model's configured core.Options.Scale,
+// anything else replaces it for this request only. Selections stay safe for
+// any level of concurrency — the scaled path samples and clusters into
+// request-local state, exactly like the exact path.
+func (s *Service) SelectScaled(name string, q *query.Query, k, l int, targets []string, scale *core.ScaleOptions) (*core.SubTable, error) {
 	m, err := s.store.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	st, err := m.SelectQuery(q, k, l, targets)
+	st, err := m.SelectWith(q, k, l, targets, scale)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}

@@ -41,6 +41,13 @@
 // whose model store is LRU-bounded in memory, deduplicates concurrent
 // pre-processing runs, and spills to disk using this same format.
 //
+// Million-row tables stay interactive through the large-table selection
+// mode (Options.Scale, or per call via Model.SelectWith): above a row
+// threshold, Select clusters a deterministic stratified sample of the
+// candidate rows with seeded mini-batch k-means instead of exact k-means
+// over every tuple-vector. Below the threshold the pipeline is bit-for-bit
+// the exact path.
+//
 // The packages behind this facade also implement the paper's evaluation
 // stack: the informativeness metrics (Defs. 3.6–3.7), an Apriori rule miner,
 // the greedy/semi-greedy Algorithm 1, and the RAN/NC/MAB/EmbDI baselines of
@@ -134,8 +141,17 @@ const (
 )
 
 // Options configures the SubTab pipeline (binning, corpus, embedding,
-// column strategy).
+// column strategy, large-table selection mode).
 type Options = core.Options
+
+// ScaleOptions configures the large-table selection mode: above
+// ScaleOptions.Threshold candidate rows, Select clusters a deterministic
+// stratified sample with seeded mini-batch k-means instead of running exact
+// k-means over every tuple-vector, keeping million-row tables interactive.
+// Below the threshold (or with the zero value) selections are bit-for-bit
+// the exact path. Set it model-wide via Options.Scale or per call via
+// Model.SelectWith.
+type ScaleOptions = core.ScaleOptions
 
 // BinningOptions configures how columns are split into bins.
 type BinningOptions = binning.Options
