@@ -12,11 +12,19 @@
 // The -suite flag picks what runs: "core" is the historical set over the
 // 3000-row FL table, "large" is the Fig9SelectLarge set (exact-path 100k
 // baseline, scaled 100k, scaled 1M — the interactivity claim for
-// million-row tables), "all" runs both.
+// million-row tables), "oocore" is the out-of-core set (scaled selection
+// over an mmap'd code store, with and without slab spilling, on a table
+// larger than the configured memory budget), "all" runs everything.
+//
+// -benchtime passes through to the testing harness (e.g. "1x" for a
+// compile-and-crash smoke, "2s" for stabler timings); a benchmark that
+// fails or panics inside the harness produces an empty result, which this
+// command treats as a hard error instead of silently recording nothing.
 //
 // The file maps label -> benchmark -> {ns_per_op, bytes_per_op,
 // allocs_per_op, n}; existing labels other than the one being written are
-// preserved.
+// preserved, and the file is replaced atomically (temp file + rename) so a
+// crashed run cannot clobber previously recorded results.
 package main
 
 import (
@@ -64,18 +72,33 @@ func pipelineOptions() subtab.Options {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("subtab-bench: ")
+	// Register the testing flags before parsing so -benchtime can be
+	// forwarded to the harness testing.Benchmark reads it from.
+	testing.Init()
 	var (
-		out   = flag.String("out", "BENCH_PR4.json", "JSON file to merge results into")
-		label = flag.String("label", "current", "label to record results under")
-		suite = flag.String("suite", "all", "benchmark suite: core, large, or all")
+		out       = flag.String("out", "BENCH_PR4.json", "JSON file to merge results into")
+		label     = flag.String("label", "current", "label to record results under")
+		suite     = flag.String("suite", "all", "benchmark suite: core, large, oocore, or all")
+		benchtime = flag.String("benchtime", "", `passed to the testing harness, e.g. "1x" or "2s" (empty = the 1s default)`)
 	)
 	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			log.Fatalf("-benchtime %q: %v", *benchtime, err)
+		}
+	}
 
 	results := map[string]entry{}
 	run := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			// testing.Benchmark swallows b.Fatal/b.Skip into an empty result;
+			// recording nothing silently would hide a broken benchmark from
+			// CI, so treat it as a hard failure.
+			log.Fatalf("benchmark %s failed inside the harness (empty result)", name)
+		}
 		results[name] = record(r)
-		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
 			name, results[name].NsPerOp, results[name].BytesPerOp, results[name].AllocsPerOp, r.N)
 	}
 	switch *suite {
@@ -83,11 +106,14 @@ func main() {
 		runCoreSuite(run)
 	case "large":
 		runLargeSuite(run)
+	case "oocore":
+		runOOCoreSuite(run)
 	case "all":
 		runCoreSuite(run)
 		runLargeSuite(run)
+		runOOCoreSuite(run)
 	default:
-		log.Fatalf("unknown -suite %q: want core, large or all", *suite)
+		log.Fatalf("unknown -suite %q: want core, large, oocore or all", *suite)
 	}
 
 	merged := map[string]map[string]entry{}
@@ -109,7 +135,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	// Write via temp file + rename: a crash partway through a suite (or
+	// mid-write) must never truncate or clobber the labeled results file.
+	tmp := *out + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, *out); err != nil {
+		os.Remove(tmp)
 		log.Fatal(err)
 	}
 	log.Printf("wrote %q results to %s", *label, *out)
@@ -309,6 +342,56 @@ func runLargeSuite(run func(name string, fn func(b *testing.B))) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := m1m.SelectWith(nil, 10, 10, nil, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runOOCoreSuite measures the out-of-core selection path: a 1M-row model
+// whose bin codes live in an mmap'd code store (inline codes dropped), far
+// larger than the configured slab budget. OOCoreSelect/1M is the
+// store-streaming scaled select with an in-memory sampled slab — the
+// number to compare against Fig9SelectLarge/1M, whose codes are resident;
+// OOCoreSelectSpill/1M additionally caps the sampled tuple-vector slab at
+// 256KiB so every select builds, spills and re-reads it from disk.
+func runOOCoreSuite(run func(name string, fn func(b *testing.B))) {
+	const rows = 1_000_000
+	ds, err := datagen.ByName("FL", rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("preprocessing FL 1M (setup)")
+	m, err := subtab.Preprocess(ds.T, largePipelineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "subtab-bench-oocore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cs, err := m.UseCodeStoreFile(filepath.Join(dir, "fl1m"+".codes"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+	log.Printf("code store: %d blocks of %d rows, mmap=%v", cs.NumBlocks(), cs.BlockRows(), cs.Mapped())
+
+	scale := &subtab.ScaleOptions{Threshold: 50_000}
+	run("OOCoreSelect/1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SelectWith(nil, 10, 10, nil, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	spill := &subtab.ScaleOptions{Threshold: 50_000, SlabBudgetBytes: 256 << 10}
+	run("OOCoreSelectSpill/1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SelectWith(nil, 10, 10, nil, spill); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,11 +14,16 @@
 //
 //	subtab-server flights=testdata/flights.csv
 //
+// Out-of-core serving: upload with store=1 to move a table's bin codes
+// into an mmap'd code store beside the cached model (requires -cache-dir),
+// and set -memory-budget to spill the sampled tuple-vector slab of scaled
+// selects past that size; selections are byte-identical either way.
+//
 // API (see internal/serve and README.md for details):
 //
 //	GET    /healthz
 //	GET    /tables
-//	POST   /tables?name=N            (CSV body)
+//	POST   /tables?name=N            (CSV body; store=1 = out-of-core)
 //	GET    /tables/{name}
 //	DELETE /tables/{name}
 //	POST   /tables/{name}/append     (CSV body; incremental row ingestion)
@@ -33,10 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,19 +63,48 @@ func main() {
 		seed      = flag.Int64("seed", 1, "default pipeline seed for uploaded tables")
 		timeout   = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown grace period")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profile serving hot spots in place)")
+		memBudget = flag.String("memory-budget", "", "default per-request budget for the sampled tuple-vector slab, e.g. 64MiB (plain bytes, or KiB/MiB/GiB); selections whose slab exceeds it spill to a temp file. Empty = never spill. Overridable per request via the select body's scale.slab_budget")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *maxModels, *seed, *timeout, *withPprof, flag.Args()); err != nil {
+	slabBudget, err := parseByteSize(*memBudget)
+	if err != nil {
+		log.Fatalf("-memory-budget: %v", err)
+	}
+	if err := run(*addr, *cacheDir, *maxModels, *seed, slabBudget, *timeout, *withPprof, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, cacheDir string, maxModels int, seed int64, timeout time.Duration, withPprof bool, preload []string) error {
+// parseByteSize parses a byte count with an optional KiB/MiB/GiB suffix.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult, s = u.mult, strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("want a non-negative byte count with optional KiB/MiB/GiB suffix, got %q", s)
+	}
+	return n * mult, nil
+}
+
+func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, timeout time.Duration, withPprof bool, preload []string) error {
 	opt := subtab.DefaultOptions()
 	opt.Bins.Seed = seed
 	opt.Corpus.Seed = seed
 	opt.Embedding.Seed = seed
 	opt.ClusterSeed = seed
+	opt.Scale.SlabBudgetBytes = slabBudget
 
 	store := serve.NewStore(serve.StoreOptions{MaxModels: maxModels, Dir: cacheDir})
 	svc := serve.NewService(store, opt)

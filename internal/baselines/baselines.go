@@ -270,7 +270,7 @@ func NaiveClustering(e *metrics.Evaluator, opt NCOptions) (*Result, error) {
 			v := make([]float32, len(rowPool))
 			nb := float32(b.Cols[c].NumBins())
 			for ri, r := range rowPool {
-				v[ri] = float32(b.Codes[c][r]) / nb
+				v[ri] = float32(b.Code(c, r)) / nb
 			}
 			colVecs[i] = v
 		}

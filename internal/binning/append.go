@@ -77,6 +77,13 @@ func AppendRows(old *Binned, t *table.Table, firstNew int, oldCounts [][]int64) 
 		return nil, stats, fmt.Errorf("binning: append: %d count columns for %d binnings", len(oldCounts), len(old.Cols))
 	}
 
+	// Store-backed binnings (out-of-core selection) materialize their codes
+	// once here: the append result owns fresh inline code slices either way.
+	oldCodes, err := old.MaterializedCodes()
+	if err != nil {
+		return nil, stats, fmt.Errorf("binning: append: %w", err)
+	}
+
 	nc := len(old.Cols)
 	stats.Drift = make([]float64, nc)
 	stats.ChunkDrift = make([]float64, nc)
@@ -111,7 +118,7 @@ func AppendRows(old *Binned, t *table.Table, firstNew int, oldCounts [][]int64) 
 		onlyMissing := cb.NumBins() == 1 && cb.MissingBin == 0
 
 		codes := make([]uint16, n)
-		copy(codes, old.Codes[c])
+		copy(codes, oldCodes[c])
 		counts := make([]int64, cb.NumBins())
 		for r := firstNew; r < n; r++ {
 			var bin int

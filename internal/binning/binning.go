@@ -151,8 +151,15 @@ type Binned struct {
 	T    *table.Table
 	Cols []ColumnBins
 
-	// Codes[c][r] is the bin code of row r in column c.
+	// Codes[c][r] is the bin code of row r in column c. It is nil for
+	// store-backed tables (AttachStore + DropInlineCodes), whose codes are
+	// read through the attached CodeSource instead; use Code, Source or
+	// MaterializedCodes to stay representation-agnostic.
 	Codes [][]uint16
+
+	// store is the external code source of a store-backed table (see
+	// source.go). Either Codes or store is always set.
+	store CodeSource
 
 	// colBase[c] is the first global item id of column c; column c uses item
 	// ids [colBase[c], colBase[c]+Cols[c].NumBins()).
@@ -241,7 +248,10 @@ func (b *Binned) NumCols() int { return len(b.Cols) }
 
 // Item returns the global item id of the cell (row r, column c).
 func (b *Binned) Item(c, r int) int32 {
-	return b.colBase[c] + int32(b.Codes[c][r])
+	if b.Codes != nil {
+		return b.colBase[c] + int32(b.Codes[c][r])
+	}
+	return b.colBase[c] + int32(b.store.Code(c, r))
 }
 
 // ItemOf returns the global item id of bin `bin` in column c.
@@ -277,7 +287,7 @@ func (b *Binned) ItemLabel(item int32) string {
 
 // CellLabel returns the bin label of the cell (row r, column c).
 func (b *Binned) CellLabel(c, r int) string {
-	return b.Cols[c].Labels[b.Codes[c][r]]
+	return b.Cols[c].Labels[b.Code(c, r)]
 }
 
 // binNumeric computes bins for a numeric column.

@@ -1,0 +1,239 @@
+package binning
+
+import (
+	"fmt"
+
+	"subtab/internal/table"
+)
+
+// CodeSource provides chunked, read-only access to a table's per-column
+// bin codes. It is the one interface behind which the selection data path
+// (package core) reads codes, so every stage — the stratified sampler, the
+// tuple-vector gather, the diversity re-rank, the bin-count scan — runs
+// identically whether the codes live in memory (a Binned's inline Codes)
+// or in an on-disk store (package codestore, which implements this
+// interface structurally). Implementations must be safe for concurrent
+// use given distinct scratch slices.
+type CodeSource interface {
+	NumRows() int
+	NumCols() int
+	// BlockRows is the rows-per-block granularity (the last block may be
+	// short); NumBlocks is the block count.
+	BlockRows() int
+	NumBlocks() int
+	// ColumnBlock returns column c's codes for block blk, decoding into
+	// scratch when the codes are not already resident.
+	ColumnBlock(c, blk int, scratch []uint16) []uint16
+	// Code returns one cell's code (random access).
+	Code(c, r int) uint16
+}
+
+// CodeSink consumes column code chunks — the export half of the
+// out-of-core path (codestore.Writer implements it).
+type CodeSink interface {
+	AppendColumns(chunk [][]uint16) error
+}
+
+// inlineSource adapts a Binned's in-memory codes to CodeSource: one block
+// spanning every row, returned as a view (no copy).
+type inlineSource struct{ b *Binned }
+
+func (s inlineSource) NumRows() int { return s.b.NumRows() }
+func (s inlineSource) NumCols() int { return len(s.b.Cols) }
+func (s inlineSource) BlockRows() int {
+	if n := s.b.NumRows(); n > 0 {
+		return n
+	}
+	return 1
+}
+func (s inlineSource) NumBlocks() int {
+	if s.b.NumRows() > 0 {
+		return 1
+	}
+	return 0
+}
+func (s inlineSource) ColumnBlock(c, blk int, scratch []uint16) []uint16 { return s.b.Codes[c] }
+func (s inlineSource) Code(c, r int) uint16                              { return s.b.Codes[c][r] }
+
+// Source returns the CodeSource for this binned table: the inline codes
+// when they are resident, otherwise the attached store.
+func (b *Binned) Source() CodeSource {
+	if b.Codes != nil {
+		return inlineSource{b}
+	}
+	return b.store
+}
+
+// HasInlineCodes reports whether the bin codes are resident in memory.
+// Store-backed tables (codes dropped after AttachStore) answer false; the
+// selection path works either way, but operations that need random access
+// to every cell at full speed (rule mining, incremental append) first
+// materialize via MaterializedCodes.
+func (b *Binned) HasInlineCodes() bool { return b.Codes != nil }
+
+// Code returns the bin code of the cell (column c, row r), from the inline
+// codes or the attached store.
+func (b *Binned) Code(c, r int) uint16 {
+	if b.Codes != nil {
+		return b.Codes[c][r]
+	}
+	return b.store.Code(c, r)
+}
+
+// AttachStore attaches an external code source (an opened codestore) to
+// the binned table after validating its geometry and — with one chunked
+// scan — that every stored code addresses an existing bin. Once attached,
+// DropInlineCodes may release the in-memory codes; the selection path then
+// reads blocks out of the store.
+func (b *Binned) AttachStore(cs CodeSource) error {
+	if cs == nil {
+		return fmt.Errorf("binning: attach: nil code source")
+	}
+	if cs.NumRows() != b.NumRows() || cs.NumCols() != len(b.Cols) {
+		return fmt.Errorf("binning: attach: store is %dx%d, binned table is %dx%d",
+			cs.NumRows(), cs.NumCols(), b.NumRows(), len(b.Cols))
+	}
+	if err := b.validateSource(cs); err != nil {
+		return err
+	}
+	b.store = cs
+	return nil
+}
+
+// validateSource streams every block once and checks each code against the
+// owning column's bin count, so a swapped or corrupted store cannot index
+// labels or embeddings out of range later.
+func (b *Binned) validateSource(cs CodeSource) error {
+	scratch := make([]uint16, min(cs.BlockRows(), cs.NumRows()))
+	for c := range b.Cols {
+		nb := uint16(b.Cols[c].NumBins())
+		for blk := 0; blk < cs.NumBlocks(); blk++ {
+			for i, code := range cs.ColumnBlock(c, blk, scratch) {
+				if code >= nb {
+					return fmt.Errorf("binning: attach: column %d row %d has code %d, column has %d bins",
+						c, blk*cs.BlockRows()+i, code, nb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DropInlineCodes releases the in-memory codes of a store-backed table,
+// leaving the attached store as the only code source. It must not race
+// concurrent readers of this Binned (attach and drop during setup, before
+// the model starts serving).
+func (b *Binned) DropInlineCodes() error {
+	if b.store == nil {
+		return fmt.Errorf("binning: cannot drop inline codes without an attached store")
+	}
+	b.Codes = nil
+	return nil
+}
+
+// MaterializedCodes returns all per-column codes as in-memory slices: the
+// inline codes when resident (no copy), otherwise one chunked read of the
+// whole store. It never mutates the Binned, so concurrent selections can
+// keep streaming from the store while a caller (rule mining, append)
+// materializes its own copy.
+func (b *Binned) MaterializedCodes() ([][]uint16, error) {
+	if b.Codes != nil {
+		return b.Codes, nil
+	}
+	if b.store == nil {
+		return nil, fmt.Errorf("binning: no inline codes and no attached store")
+	}
+	cs := b.store
+	n := b.NumRows()
+	out := make([][]uint16, len(b.Cols))
+	for c := range out {
+		col := make([]uint16, 0, n)
+		for blk := 0; blk < cs.NumBlocks(); blk++ {
+			col = append(col, cs.ColumnBlock(c, blk, nil)...)
+		}
+		out[c] = col
+	}
+	return out, nil
+}
+
+// ExportCodes streams the table's codes into sink in chunks of chunkRows
+// rows (<= 0 picks a block-sized chunk). It works from the inline codes or
+// from an attached store, so a store can be re-exported (compaction, a
+// different block size) without materializing the table.
+func (b *Binned) ExportCodes(sink CodeSink, chunkRows int) error {
+	src := b.Source()
+	if src == nil {
+		return fmt.Errorf("binning: no codes to export")
+	}
+	n := b.NumRows()
+	if chunkRows <= 0 {
+		chunkRows = min(src.BlockRows(), 1<<16)
+	}
+	mc := len(b.Cols)
+	chunk := make([][]uint16, mc)
+	scratch := make([][]uint16, mc)
+	for start := 0; start < n; start += chunkRows {
+		end := min(start+chunkRows, n)
+		for c := 0; c < mc; c++ {
+			chunk[c] = readRange(src, c, start, end, &scratch[c])
+		}
+		if err := sink.AppendColumns(chunk); err != nil {
+			return err
+		}
+	}
+	if n == 0 {
+		// A zero-row table still exports its (empty) columns so the sink
+		// records the correct column count.
+		for c := 0; c < mc; c++ {
+			chunk[c] = nil
+		}
+		return sink.AppendColumns(chunk)
+	}
+	return nil
+}
+
+// readRange returns column c's codes for rows [start, end), assembling
+// across block boundaries into *buf when the range is not a sub-slice of
+// one resident block.
+func readRange(src CodeSource, c, start, end int, buf *[]uint16) []uint16 {
+	br := src.BlockRows()
+	if b0 := start / br; b0 == (end-1)/br {
+		blk := src.ColumnBlock(c, b0, nil)
+		return blk[start-b0*br : end-b0*br]
+	}
+	if cap(*buf) < end-start {
+		*buf = make([]uint16, end-start)
+	}
+	out := (*buf)[:0]
+	for blk := start / br; blk*br < end; blk++ {
+		codes := src.ColumnBlock(c, blk, nil)
+		lo := max(start-blk*br, 0)
+		hi := min(end-blk*br, len(codes))
+		out = append(out, codes[lo:hi]...)
+	}
+	*buf = out
+	return out
+}
+
+// RestoreWithStore rebuilds a Binned whose codes live in an external store
+// (package modelio's v5 external-reference load path): the per-column
+// binnings are given inline, the codes stay in cs. Geometry and code
+// ranges are validated exactly as in AttachStore.
+func RestoreWithStore(t *table.Table, cols []ColumnBins, cs CodeSource) (*Binned, error) {
+	if len(cols) != t.NumCols() {
+		return nil, fmt.Errorf("binning: restore: %d column binnings for a %d-column table", len(cols), t.NumCols())
+	}
+	b := &Binned{T: t, Cols: cols}
+	for c := range cols {
+		nb := cols[c].NumBins()
+		if nb == 0 {
+			return nil, fmt.Errorf("binning: restore: column %d has no bins", c)
+		}
+		b.colBase = append(b.colBase, int32(b.numItems))
+		b.numItems += nb
+	}
+	if err := b.AttachStore(cs); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

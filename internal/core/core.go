@@ -221,10 +221,16 @@ func (m *Model) cachedBinCounts() [][]int64 {
 		}
 		mc := m.T.NumCols()
 		counts := make([][]int64, mc)
+		src := m.B.Source()
 		f32.ParallelIndex(mc, f32.Workers(mc), func(c int) {
 			f := make([]int64, m.B.Cols[c].NumBins())
-			for _, code := range m.B.Codes[c] {
-				f[code]++
+			var scratch []uint16
+			for blk := 0; blk < src.NumBlocks(); blk++ {
+				codes := src.ColumnBlock(c, blk, scratch)
+				scratch = codes
+				for _, code := range codes {
+					f[code]++
+				}
 			}
 			counts[c] = f
 		})
@@ -469,40 +475,41 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 	// to real row ids.
 	dim := m.Emb.Dim()
 	candRows := rows
-	var rowVecs f32.Matrix
+	var rowSlab *f32.Slab
 	var rowRes *cluster.Result
 	if scale.Active(len(rows)) {
 		scale = scale.withDefaults()
 		candRows = m.sampleCandidates(rows, cols, scale.SampleBudget)
-		vecs, done := m.sampledRowVectors(candRows, cols)
+		slab, done, err := m.sampledRowSlab(candRows, cols, scale)
+		if err != nil {
+			return nil, fmt.Errorf("core: building sampled tuple-vector slab: %w", err)
+		}
 		defer done()
-		rowVecs = vecs
-		rowRes = m.scaledRowClustering(rowVecs, k, scale)
+		rowSlab = slab
+		rowRes = m.scaledRowClustering(rowSlab, k, scale)
 	} else if identityCols(cols, m.T.NumCols()) {
 		full := m.fullRowVectors()
 		if len(rows) == m.T.NumRows() && identityRows(rows) {
-			rowVecs = full
+			rowSlab = f32.WrapSlab(full)
 		} else {
 			buf := getVecBuf(len(rows) * dim)
 			defer putVecBuf(buf)
-			rowVecs = f32.Wrap(len(rows), dim, *buf)
+			rowVecs := f32.Wrap(len(rows), dim, *buf)
 			f32.GatherRows(rowVecs, full, rows)
+			rowSlab = f32.WrapSlab(rowVecs)
 		}
 	} else {
 		buf := getVecBuf(len(rows) * dim)
 		defer putVecBuf(buf)
-		rowVecs = f32.Wrap(len(rows), dim, *buf)
-		f32.ParallelRange(len(rows), f32.Workers(len(rows)), func(start, end int) {
-			idx := make([]int32, len(cols))
-			for i := start; i < end; i++ {
-				m.rowVectorInto(rowVecs.Row(i), rows[i], cols, idx)
-			}
-		})
+		rowVecs := f32.Wrap(len(rows), dim, *buf)
+		m.gatherTupleVectors(rowVecs, rows, cols)
+		rowSlab = f32.WrapSlab(rowVecs)
 	}
 	if rowRes == nil {
-		rowRes = cluster.KMeansMatrix(rowVecs, k, cluster.Options{Seed: m.Opt.ClusterSeed})
+		mat, _ := rowSlab.Matrix() // exact-path slabs are always resident
+		rowRes = cluster.KMeansMatrix(mat, k, cluster.Options{Seed: m.Opt.ClusterSeed})
 	}
-	repIdx := m.diverseRepresentatives(rowRes, rowVecs, candRows, cols, 16)
+	repIdx := m.diverseRepresentatives(rowRes, rowSlab, candRows, cols, 16)
 	selRows := make([]int, 0, len(repIdx))
 	for _, i := range repIdx {
 		selRows = append(selRows, candRows[i])
@@ -559,19 +566,35 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 // central member. The per-point centroid distances and the per-candidate
 // Jaccard scans run across workers; each slot is written by exactly one
 // index and the final argmin scan is serial with first-wins ties, so the
-// result is bit-identical to the serial path.
-func (m *Model) diverseRepresentatives(res *cluster.Result, vecs f32.Matrix, rows, cols []int, q int) []int {
+// result is bit-identical to the serial path. The vectors arrive as a slab:
+// resident slabs are scanned in place, spilled slabs chunk by chunk, with
+// identical distances either way.
+func (m *Model) diverseRepresentatives(res *cluster.Result, vecs *f32.Slab, rows, cols []int, q int) []int {
 	if res.K == 0 {
 		return nil
 	}
-	n := vecs.R
-	workers := f32.Workers(n)
+	n := vecs.Len()
 	ds := make([]float64, n)
-	f32.ParallelRange(n, workers, func(start, end int) {
-		for i := start; i < end; i++ {
-			ds[i] = f32.SqDist(vecs.Row(i), res.Centers[res.Assign[i]])
+	if mat, resident := vecs.Matrix(); resident {
+		f32.ParallelRange(n, f32.Workers(n), func(start, end int) {
+			for i := start; i < end; i++ {
+				ds[i] = f32.SqDist(mat.Row(i), res.Centers[res.Assign[i]])
+			}
+		})
+	} else {
+		chunkRows := min(vecs.ChunkRows(), n)
+		buf := f32.New(chunkRows, vecs.Dim())
+		for start := 0; start < n; start += chunkRows {
+			cn := min(chunkRows, n-start)
+			chunk := f32.Wrap(cn, vecs.Dim(), buf.Data[:cn*vecs.Dim()])
+			vecs.ReadChunk(start, chunk)
+			f32.ParallelRange(cn, f32.Workers(cn), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ds[start+i] = f32.SqDist(chunk.Row(i), res.Centers[res.Assign[start+i]])
+				}
+			})
 		}
-	})
+	}
 	type cand struct {
 		idx int
 		d   float64
@@ -603,7 +626,7 @@ func (m *Model) diverseRepresentatives(res *cluster.Result, vecs f32.Matrix, row
 		}
 		same := 0
 		for _, c := range cols {
-			if m.B.Codes[c][r1] == m.B.Codes[c][r2] {
+			if m.B.Code(c, r1) == m.B.Code(c, r2) {
 				same++
 			}
 		}

@@ -40,11 +40,11 @@ func (m *Model) SelectFair(k, l int, targets []string, fair FairnessOptions) (*S
 	nBins := m.B.Cols[gi].NumBins()
 	full := make([]int, nBins)
 	for r := 0; r < m.T.NumRows(); r++ {
-		full[m.B.Codes[gi][r]]++
+		full[m.B.Code(gi, r)]++
 	}
 	sel := make([]int, nBins)
 	for _, r := range st.SourceRows {
-		sel[m.B.Codes[gi][r]]++
+		sel[m.B.Code(gi, r)]++
 	}
 
 	// Deficits per group, bounded by group size.
@@ -78,7 +78,7 @@ func (m *Model) SelectFair(k, l int, targets []string, fair FairnessOptions) (*S
 	pick := func(bin, need int) []int {
 		var cand []int
 		for r := 0; r < m.T.NumRows() && len(cand) < need*8; r++ {
-			if int(m.B.Codes[gi][r]) == bin && !inSel[r] {
+			if int(m.B.Code(gi, r)) == bin && !inSel[r] {
 				cand = append(cand, r)
 			}
 		}
@@ -97,7 +97,7 @@ func (m *Model) SelectFair(k, l int, targets []string, fair FairnessOptions) (*S
 			victim := -1
 			victimCount := -1
 			for i, r := range rows {
-				b := int(m.B.Codes[gi][r])
+				b := int(m.B.Code(gi, r))
 				if b == d.bin {
 					continue
 				}
@@ -109,7 +109,7 @@ func (m *Model) SelectFair(k, l int, targets []string, fair FairnessOptions) (*S
 			if victim < 0 {
 				break // nothing to trade away
 			}
-			sel[int(m.B.Codes[gi][rows[victim]])]--
+			sel[int(m.B.Code(gi, rows[victim]))]--
 			rows[victim] = newRow
 			sel[d.bin]++
 			inSel[newRow] = true
@@ -134,7 +134,7 @@ func (m *Model) GroupCounts(st *SubTable, groupCol string) (map[string]int, erro
 	}
 	out := make(map[string]int)
 	for _, r := range st.SourceRows {
-		out[m.B.Cols[gi].Labels[m.B.Codes[gi][r]]]++
+		out[m.B.Cols[gi].Labels[m.B.Code(gi, r)]]++
 	}
 	return out, nil
 }

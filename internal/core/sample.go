@@ -44,19 +44,65 @@ func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed i
 	// Phase 1: per-stratum min-hash representative. The stratum space is the
 	// global item-id space restricted to cols; NumItems is small (columns ×
 	// bins), so flat slots beat a map.
+	//
+	// Codes are read through the binning's CodeSource so the scan runs
+	// identically over inline codes and over an on-disk store: min-hash with
+	// a value-based tie-break is order-independent, so chunked block scans
+	// (and the store's block geometry) cannot change the sample — the
+	// property that lets the out-of-core path reproduce the in-memory
+	// sample bit for bit.
 	bestRow := make([]int, b.NumItems())
 	bestHash := make([]uint64, b.NumItems())
 	for s := range bestRow {
 		bestRow[s] = -1
 	}
+	update := func(s int32, r int, h uint64) {
+		if bestRow[s] < 0 || h < bestHash[s] || (h == bestHash[s] && r < bestRow[s]) {
+			bestRow[s], bestHash[s] = r, h
+		}
+	}
+	src := b.Source()
+	var scratch []uint16
 	for _, c := range cols {
 		base := b.ItemOf(c, 0)
-		codes := b.Codes[c]
-		for i, r := range rows {
-			s := base + int32(codes[r])
-			h := rowH[i]
-			if bestRow[s] < 0 || h < bestHash[s] || (h == bestHash[s] && r < bestRow[s]) {
-				bestRow[s], bestHash[s] = r, h
+		switch {
+		case b.HasInlineCodes():
+			// Resident codes: the historical single-pass loop, one uint16
+			// read and a compare per cell (kept branch-free of the closure —
+			// this is the dominant scan of every in-memory scaled select).
+			codes := b.Codes[c]
+			for i, r := range rows {
+				s := base + int32(codes[r])
+				h := rowH[i]
+				if bestRow[s] < 0 || h < bestHash[s] || (h == bestHash[s] && r < bestRow[s]) {
+					bestRow[s], bestHash[s] = r, h
+				}
+			}
+		case len(rows) == src.NumRows() && identityRows(rows):
+			// Store-backed full-table scan: stream whole blocks in order.
+			br := src.BlockRows()
+			for blk := 0; blk < src.NumBlocks(); blk++ {
+				codes := src.ColumnBlock(c, blk, scratch)
+				scratch = codes
+				off := blk * br
+				for i, code := range codes {
+					update(base+int32(code), off+i, rowH[off+i])
+				}
+			}
+		default:
+			// Store-backed candidate subset (a query result): walk the rows
+			// with a per-column block cursor — sequential block loads for the
+			// (sorted) common case, still correct for any order.
+			br := src.BlockRows()
+			blk := -1
+			var codes []uint16
+			for i, r := range rows {
+				if nb := r / br; nb != blk {
+					blk = nb
+					codes = src.ColumnBlock(c, blk, scratch)
+					scratch = codes
+				}
+				update(base+int32(codes[r-blk*br]), r, rowH[i])
 			}
 		}
 	}

@@ -32,6 +32,14 @@ type ScaleOptions struct {
 	BatchSize int
 	// MaxIter bounds mini-batch iterations (default 100).
 	MaxIter int
+	// SlabBudgetBytes caps the in-memory size of the sampled tuple-vector
+	// slab: a sample whose vectors (SampleBudget × dim × 4 bytes) exceed
+	// the budget is built chunk by chunk into a spill file and clustered by
+	// chunked reads, keeping the selection's resident footprint bounded
+	// regardless of the sample budget. 0 (the default) never spills — the
+	// historical in-memory behaviour. Selections are bit-identical either
+	// way.
+	SlabBudgetBytes int64
 }
 
 // Active reports whether the scaled path handles a candidate set of n rows.
@@ -82,33 +90,106 @@ func (m *Model) sampleCandidates(rows, cols []int, budget int) []int {
 	return s
 }
 
-// sampledRowVectors builds the tuple-vector slab for a sampled candidate
-// set. A warm full-table cache turns the build into a row gather; otherwise
-// only the sampled rows are computed — the scaled path never materializes
-// vectors for rows the sample dropped, which is the point of sampling
-// before embedding lookup on million-row tables.
-func (m *Model) sampledRowVectors(rows, cols []int) (f32.Matrix, func()) {
+// sampledRowSlab builds the tuple-vector slab for a sampled candidate set.
+// Under the slab budget (or with no budget) the vectors live in a pooled
+// in-memory matrix; over it they are computed chunk by chunk into a spill
+// file, so the resident cost of a scaled select is the chunk, not the
+// sample. A warm full-table cache turns the in-memory build into a row
+// gather; otherwise only the sampled rows are computed — the scaled path
+// never materializes vectors for rows the sample dropped, which is the
+// point of sampling before embedding lookup on million-row tables.
+// The returned cleanup releases the pooled buffer or the spill file.
+func (m *Model) sampledRowSlab(rows, cols []int, scale ScaleOptions) (*f32.Slab, func(), error) {
 	dim := m.Emb.Dim()
-	buf := getVecBuf(len(rows) * dim)
-	mat := f32.Wrap(len(rows), dim, *buf)
-	if identityCols(cols, m.T.NumCols()) && m.fullVecsReady.Load() {
-		f32.GatherRows(mat, m.fullVecs, rows)
-	} else {
+	need := int64(len(rows)) * int64(dim) * 4
+	if scale.SlabBudgetBytes <= 0 || need <= scale.SlabBudgetBytes {
+		buf := getVecBuf(len(rows) * dim)
+		mat := f32.Wrap(len(rows), dim, *buf)
+		if identityCols(cols, m.T.NumCols()) && m.fullVecsReady.Load() {
+			f32.GatherRows(mat, m.fullVecs, rows)
+		} else {
+			m.gatherTupleVectors(mat, rows, cols)
+		}
+		return f32.WrapSlab(mat), func() { putVecBuf(buf) }, nil
+	}
+	slab, err := f32.NewSpillSlab(len(rows), dim, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	chunkRows := min(slab.ChunkRows(), len(rows))
+	buf := getVecBuf(chunkRows * dim)
+	defer putVecBuf(buf)
+	for start := 0; start < len(rows); start += chunkRows {
+		end := min(start+chunkRows, len(rows))
+		chunk := f32.Wrap(end-start, dim, (*buf)[:(end-start)*dim])
+		m.gatherTupleVectors(chunk, rows[start:end], cols)
+		if err := slab.WriteChunk(start, chunk); err != nil {
+			slab.Close()
+			return nil, nil, err
+		}
+	}
+	return slab, func() { slab.Close() }, nil
+}
+
+// gatherTupleVectors fills dst with the tuple-vectors of the given rows
+// over cols. With resident codes it is the historical per-row parallel
+// fill; for a store-backed binning it builds the gather-index slab in
+// column-major block order — one sequential pass per column through the
+// code store, the access pattern the store's layout is built for — and
+// pools whole rows with the f32.MeanPoolRows kernel. Both paths compute
+// identical vectors (same per-row index values, same pooling arithmetic).
+func (m *Model) gatherTupleVectors(dst f32.Matrix, rows, cols []int) {
+	if m.B.HasInlineCodes() {
 		f32.ParallelRange(len(rows), f32.Workers(len(rows)), func(start, end int) {
 			idx := make([]int32, len(cols))
 			for i := start; i < end; i++ {
-				m.rowVectorInto(mat.Row(i), rows[i], cols, idx)
+				m.rowVectorInto(dst.Row(i), rows[i], cols, idx)
 			}
 		})
+		return
 	}
-	return mat, func() { putVecBuf(buf) }
+	k := len(cols)
+	idx := make([]int32, len(rows)*k)
+	src := m.B.Source()
+	br := src.BlockRows()
+	if len(rows)*8 < src.NumRows() {
+		// Sparse gather: the sampled rows touch a small fraction of every
+		// block, so per-cell random access (a two-byte mmap load) beats
+		// decoding whole blocks to use a sliver of each.
+		f32.ParallelRange(len(rows), f32.Workers(len(rows)), func(start, end int) {
+			for i := start; i < end; i++ {
+				r := rows[i]
+				for j, c := range cols {
+					idx[i*k+j] = m.itemRow[m.B.ItemOf(c, int(src.Code(c, r)))]
+				}
+			}
+		})
+	} else {
+		var scratch []uint16
+		for j, c := range cols {
+			base := m.B.ItemOf(c, 0)
+			blk := -1
+			var codes []uint16
+			for i, r := range rows {
+				if nb := r / br; nb != blk {
+					blk = nb
+					codes = src.ColumnBlock(c, blk, scratch)
+					scratch = codes
+				}
+				idx[i*k+j] = m.itemRow[base+int32(codes[r-blk*br])]
+			}
+		}
+	}
+	f32.MeanPoolRows(dst, m.items, idx, k)
 }
 
 // scaledRowClustering is the row step of the scaled path: cluster the
-// sampled tuple-vectors with seeded mini-batch k-means. The caller maps
-// representative indices back through the sample to real row ids.
-func (m *Model) scaledRowClustering(vecs f32.Matrix, k int, scale ScaleOptions) *cluster.Result {
-	return cluster.MiniBatchKMeans(vecs, k, cluster.MiniBatchOptions{
+// sampled tuple-vector slab with seeded mini-batch k-means (resident slabs
+// take the matrix fast path; spilled slabs are clustered through chunked
+// reads with bit-identical results). The caller maps representative
+// indices back through the sample to real row ids.
+func (m *Model) scaledRowClustering(vecs *f32.Slab, k int, scale ScaleOptions) *cluster.Result {
+	return cluster.MiniBatchKMeansSource(vecs, k, cluster.MiniBatchOptions{
 		BatchSize: scale.BatchSize,
 		MaxIter:   scale.MaxIter,
 		Seed:      m.Opt.ClusterSeed,

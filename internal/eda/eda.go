@@ -223,7 +223,7 @@ func Captured(b *binning.Binned, rows []int, cols []int, f Fragment) bool {
 		bin = cb.BinOfCat(code)
 	}
 	for _, r := range rows {
-		if int(b.Codes[ci][r]) == bin {
+		if int(b.Code(ci, r)) == bin {
 			return true
 		}
 	}

@@ -1,0 +1,133 @@
+package f32
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+// TestSpillSlabRoundTrip pins that a spilled slab reads back exactly the
+// rows written into it, through every access path, for chunk patterns that
+// straddle the write-chunk boundaries.
+func TestSpillSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, dim = 500, 9
+	src := randMatrix(rng, rows, dim)
+
+	slab, err := NewSpillSlab(rows, dim, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slab.Close()
+	if !slab.Spilled() {
+		t.Fatal("NewSpillSlab returned a resident slab")
+	}
+	if _, ok := slab.Matrix(); ok {
+		t.Fatal("spilled slab handed out a matrix")
+	}
+	for start := 0; start < rows; {
+		n := min(1+rng.Intn(97), rows-start)
+		chunk := Wrap(n, dim, src.Data[start*dim:(start+n)*dim])
+		if err := slab.WriteChunk(start, chunk); err != nil {
+			t.Fatal(err)
+		}
+		start += n
+	}
+
+	// Sequential chunked reads.
+	got := New(rows, dim)
+	for start := 0; start < rows; start += 111 {
+		n := min(111, rows-start)
+		slab.ReadChunk(start, Wrap(n, dim, got.Data[start*dim:(start+n)*dim]))
+	}
+	for i := range src.Data {
+		if src.Data[i] != got.Data[i] {
+			t.Fatalf("ReadChunk data[%d] = %v, want %v", i, got.Data[i], src.Data[i])
+		}
+	}
+
+	// Scattered gather.
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = rng.Intn(rows)
+	}
+	dst := New(len(idx), dim)
+	slab.Gather(dst, idx)
+	for j, r := range idx {
+		for d := 0; d < dim; d++ {
+			if dst.Row(j)[d] != src.Row(r)[d] {
+				t.Fatalf("Gather row %d (slab row %d) dim %d mismatch", j, r, d)
+			}
+		}
+	}
+}
+
+// TestSlabCloseRemovesSpillFile pins the temp-file lifecycle.
+func TestSlabCloseRemovesSpillFile(t *testing.T) {
+	dir := t.TempDir()
+	slab, err := NewSpillSlab(10, 4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill dir has %d entries after Close, want 0", len(entries))
+	}
+	if err := slab.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestWrapSlabIsResident pins the zero-copy in-memory path.
+func TestWrapSlabIsResident(t *testing.T) {
+	m := randMatrix(rand.New(rand.NewSource(2)), 20, 5)
+	slab := WrapSlab(m)
+	mat, ok := slab.Matrix()
+	if !ok || &mat.Data[0] != &m.Data[0] {
+		t.Fatal("WrapSlab did not hand back the same backing array")
+	}
+	dst := New(3, 5)
+	slab.Gather(dst, []int{4, 0, 19})
+	for d := 0; d < 5; d++ {
+		if dst.Row(1)[d] != m.Row(0)[d] {
+			t.Fatal("resident gather mismatch")
+		}
+	}
+}
+
+// TestMeanPoolRowsMatchesPerRow pins the batched kernel against per-row
+// MeanPoolInto bit for bit, negatives included.
+func TestMeanPoolRowsMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := randMatrix(rng, 40, 7)
+	const rows, k = 33, 5
+	idx := make([]int32, rows*k)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(42) - 2) // includes the -1/-2 unseen sentinels
+	}
+	batch := New(rows, 7)
+	MeanPoolRows(batch, src, idx, k)
+	want := make([]float32, 7)
+	for i := 0; i < rows; i++ {
+		MeanPoolInto(want, src, idx[i*k:(i+1)*k])
+		for d := range want {
+			if batch.Row(i)[d] != want[d] {
+				t.Fatalf("row %d dim %d: batched %v, per-row %v", i, d, batch.Row(i)[d], want[d])
+			}
+		}
+	}
+}

@@ -166,7 +166,7 @@ func Jaccard(b *binning.Binned, r1, r2 int, cols []int) float64 {
 	}
 	same := 0
 	for _, c := range cols {
-		if b.Codes[c][r1] == b.Codes[c][r2] {
+		if b.Code(c, r1) == b.Code(c, r2) {
 			same++
 		}
 	}

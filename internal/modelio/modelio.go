@@ -30,8 +30,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"subtab/internal/binning"
+	"subtab/internal/codestore"
 	"subtab/internal/core"
 	"subtab/internal/table"
 	"subtab/internal/word2vec"
@@ -52,8 +54,14 @@ import (
 // scale options (threshold, sample budget, batch size, max iterations) to
 // the Options section, so a model saved with the scaled selection mode
 // configured keeps it after a load; files from versions 1-3 load with the
-// mode disabled (the historical behaviour).
-const Version uint16 = 4
+// mode disabled (the historical behaviour). Version 5 restructures the
+// binned section for out-of-core models: the per-column bin codes — by far
+// the largest section of a big table's model — move behind a presence flag
+// and may be replaced by a reference to an external code store file
+// (package codestore), identified by base name and checksum and resolved
+// against the model file's directory at load time; the scale options gain
+// the slab spill budget. Files from versions 1-4 still load unchanged.
+const Version uint16 = 5
 
 var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
 
@@ -79,7 +87,9 @@ func Save(w io.Writer, m *core.Model) error {
 	e.u16(Version)
 	writeOptions(e, m.Opt)
 	writeTable(e, m.T)
-	writeBinned(e, m.B)
+	if err := writeBinned(e, m.B); err != nil {
+		return err
+	}
 	writeEmbedding(e, m.Emb)
 	writeAffinity(e, m.AffinityData(), m.T.NumCols())
 	writeBinCounts(e, m.BinCountsData())
@@ -110,8 +120,25 @@ func SaveFile(path string, m *core.Model) error {
 	return f.Close()
 }
 
-// Load reads a model previously written by Save.
+// LoadOptions configures Load for models that reference external state.
+type LoadOptions struct {
+	// CodeStoreDir is the directory external code-store references (v5
+	// models saved out-of-core) are resolved against. Empty means external
+	// references fail with a descriptive error; LoadFile fills it with the
+	// model file's own directory.
+	CodeStoreDir string
+}
+
+// Load reads a model previously written by Save. Models that reference an
+// external code store need the store's directory — use LoadFile (which
+// infers it from the model path) or LoadWith.
 func Load(r io.Reader) (*core.Model, error) {
+	return LoadWith(r, LoadOptions{})
+}
+
+// LoadWith reads a model previously written by Save, resolving external
+// code-store references per opt.
+func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 	h := crc32.New(crcTable)
 	d := &decoder{r: bufio.NewReaderSize(r, 1<<16), h: h}
 
@@ -135,13 +162,13 @@ func Load(r io.Reader) (*core.Model, error) {
 	}
 	opt := readOptions(d, v)
 	t := readTable(d)
-	b := readBinned(d, t)
+	cols, codes, ref := readBinnedParts(d, t, v)
 	emb := readEmbedding(d)
 	aff := readAffinity(d, t)
 	var counts [][]int64
 	appendedSinceRebin := 0
 	if v >= 3 {
-		counts = readBinCounts(d, b)
+		counts = readBinCounts(d, t, cols)
 		appendedSinceRebin = int(d.u64())
 	}
 	if d.err != nil {
@@ -156,6 +183,35 @@ func Load(r io.Reader) (*core.Model, error) {
 	}
 	if got := binary.LittleEndian.Uint32(crc[:]); got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	// Assemble the binned representation only after the model file itself
+	// verified: inline codes restore directly; an external reference opens
+	// the code store next to the model and checks its identity checksum.
+	var b *binning.Binned
+	if ref == nil {
+		var err error
+		b, err = binning.Restore(t, cols, codes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: rebuilding binned representation: %v", ErrCorrupt, err)
+		}
+	} else {
+		if lopt.CodeStoreDir == "" {
+			return nil, fmt.Errorf("modelio: model references external code store %q; load with LoadFile or LoadWith{CodeStoreDir}", ref.file)
+		}
+		cs, err := codestore.Open(filepath.Join(lopt.CodeStoreDir, ref.file))
+		if err != nil {
+			return nil, fmt.Errorf("modelio: opening external code store %q: %w", ref.file, err)
+		}
+		if cs.Checksum() != ref.checksum {
+			cs.Close()
+			return nil, fmt.Errorf("%w: external code store %q has checksum %08x, model expects %08x",
+				ErrCorrupt, ref.file, cs.Checksum(), ref.checksum)
+		}
+		b, err = binning.RestoreWithStore(t, cols, cs)
+		if err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("%w: attaching external code store: %v", ErrCorrupt, err)
+		}
 	}
 	m, err := core.Restore(t, b, emb, opt, aff)
 	if err != nil {
@@ -172,14 +228,15 @@ func Load(r io.Reader) (*core.Model, error) {
 	return m, nil
 }
 
-// LoadFile reads a model from path.
+// LoadFile reads a model from path. External code-store references are
+// resolved against the model file's directory.
 func LoadFile(path string) (*core.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadWith(f, LoadOptions{CodeStoreDir: filepath.Dir(path)})
 }
 
 // ---------------------------------------------------------------------------
@@ -208,6 +265,7 @@ func writeOptions(e *encoder, o core.Options) {
 	e.i64(int64(o.Scale.SampleBudget))
 	e.i64(int64(o.Scale.BatchSize))
 	e.i64(int64(o.Scale.MaxIter))
+	e.i64(o.Scale.SlabBudgetBytes)
 }
 
 func readOptions(d *decoder, v uint16) core.Options {
@@ -237,6 +295,11 @@ func readOptions(d *decoder, v uint16) core.Options {
 		o.Scale.SampleBudget = int(d.i64())
 		o.Scale.BatchSize = int(d.i64())
 		o.Scale.MaxIter = int(d.i64())
+	}
+	// The slab spill budget exists from version 5 on; older files predate
+	// spilling and load with it off (in-memory slabs, the historical mode).
+	if v >= 5 {
+		o.Scale.SlabBudgetBytes = d.i64()
 	}
 	return o
 }
@@ -328,7 +391,12 @@ func readTable(d *decoder) *table.Table {
 	return t
 }
 
-func writeBinned(e *encoder, b *binning.Binned) {
+// writeBinned serializes the binned representation in the v5 layout:
+// per-column metadata first, then one codes section — inline (flag 1, the
+// per-column bin codes) or an external code-store reference (flag 0: base
+// file name, block size and the store's identity checksum). Store-backed
+// models whose source has no file identity cannot be saved as-is.
+func writeBinned(e *encoder, b *binning.Binned) error {
 	e.u32(uint32(len(b.Cols)))
 	for i := range b.Cols {
 		cb := &b.Cols[i]
@@ -346,21 +414,51 @@ func writeBinned(e *encoder, b *binning.Binned) {
 		e.u32(uint32(len(ints)))
 		e.i32s(ints)
 		e.i64(int64(cb.MissingBin))
-		e.u16s(b.Codes[i])
 	}
+	if b.HasInlineCodes() {
+		e.u8(1)
+		for i := range b.Cols {
+			e.u16s(b.Codes[i])
+		}
+		return nil
+	}
+	ref, ok := b.Source().(interface {
+		Path() string
+		Checksum() uint32
+		BlockRows() int
+	})
+	if !ok {
+		return errors.New("modelio: model is store-backed but its code source has no file identity; attach a codestore.Store or materialize the codes before saving")
+	}
+	e.u8(0)
+	e.str(filepath.Base(ref.Path()))
+	e.u32(uint32(ref.BlockRows()))
+	e.u32(ref.Checksum())
+	return nil
 }
 
-func readBinned(d *decoder, t *table.Table) *binning.Binned {
+// storeRef is a deserialized external code-store reference.
+type storeRef struct {
+	file      string
+	blockRows int
+	checksum  uint32
+}
+
+// readBinnedParts reads the binned section: the per-column binnings plus
+// either the inline codes or an external store reference (never both).
+// Versions <= 4 interleave each column's codes with its metadata; version
+// 5 moves the codes behind the presence flag after all columns.
+func readBinnedParts(d *decoder, t *table.Table, v uint16) ([]binning.ColumnBins, [][]uint16, *storeRef) {
 	if d.err != nil {
-		return nil
+		return nil, nil, nil
 	}
 	nCols := int(d.u32())
 	if d.err != nil {
-		return nil
+		return nil, nil, nil
 	}
 	if nCols != t.NumCols() {
 		d.fail("binned representation has %d columns, table has %d", nCols, t.NumCols())
-		return nil
+		return nil, nil, nil
 	}
 	nRows := t.NumRows()
 	cols := make([]binning.ColumnBins, nCols)
@@ -371,12 +469,12 @@ func readBinned(d *decoder, t *table.Table) *binning.Binned {
 		cb.Kind = table.Kind(d.u8())
 		nLabels := int(d.u32())
 		if d.err != nil {
-			return nil
+			return nil, nil, nil
 		}
 		if nLabels > 1<<16 {
 			// Bin codes are uint16, so no column can have more bins.
 			d.fail("column %d has %d bin labels", i, nLabels)
-			return nil
+			return nil, nil, nil
 		}
 		cb.Labels = make([]string, nLabels)
 		for j := range cb.Labels {
@@ -391,17 +489,38 @@ func readBinned(d *decoder, t *table.Table) *binning.Binned {
 			cb.CatToBin[j] = int(v)
 		}
 		cb.MissingBin = int(d.i64())
-		codes[i] = d.u16s(nRows)
+		if v <= 4 {
+			codes[i] = d.u16s(nRows)
+		}
 		if d.err != nil {
-			return nil
+			return nil, nil, nil
 		}
 	}
-	b, err := binning.Restore(t, cols, codes)
-	if err != nil {
-		d.fail("rebuilding binned representation: %v", err)
-		return nil
+	if v <= 4 {
+		return cols, codes, nil
 	}
-	return b
+	switch flag := d.u8(); {
+	case d.err != nil:
+		return nil, nil, nil
+	case flag == 1:
+		for i := 0; i < nCols; i++ {
+			codes[i] = d.u16s(nRows)
+		}
+		return cols, codes, nil
+	case flag == 0:
+		ref := &storeRef{file: d.str(), blockRows: int(d.u32()), checksum: d.u32()}
+		if d.err != nil {
+			return nil, nil, nil
+		}
+		if ref.file == "" || ref.file != filepath.Base(ref.file) {
+			d.fail("invalid external code store reference %q", ref.file)
+			return nil, nil, nil
+		}
+		return cols, nil, ref
+	default:
+		d.fail("unknown codes-section flag %d", flag)
+		return nil, nil, nil
+	}
 }
 
 // f64s with an explicit leading count (cuts have no implied length).
@@ -456,27 +575,27 @@ func writeBinCounts(e *encoder, counts [][]int64) {
 	}
 }
 
-func readBinCounts(d *decoder, b *binning.Binned) [][]int64 {
-	if d.err != nil || b == nil {
+func readBinCounts(d *decoder, t *table.Table, cols []binning.ColumnBins) [][]int64 {
+	if d.err != nil || cols == nil {
 		return nil
 	}
 	nc := int(d.u32())
 	if d.err != nil {
 		return nil
 	}
-	if nc != len(b.Cols) {
-		d.fail("bin counts for %d columns, binning has %d", nc, len(b.Cols))
+	if nc != len(cols) {
+		d.fail("bin counts for %d columns, binning has %d", nc, len(cols))
 		return nil
 	}
 	out := make([][]int64, nc)
-	nRows := int64(b.NumRows())
+	nRows := int64(t.NumRows())
 	for c := range out {
 		n := int(d.u32())
 		if d.err != nil {
 			return nil
 		}
-		if n != b.Cols[c].NumBins() {
-			d.fail("column %d has %d bin counts, %d bins", c, n, b.Cols[c].NumBins())
+		if n != cols[c].NumBins() {
+			d.fail("column %d has %d bin counts, %d bins", c, n, cols[c].NumBins())
 			return nil
 		}
 		cc := make([]int64, n)

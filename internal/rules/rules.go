@@ -127,10 +127,17 @@ func Mine(b *binning.Binned, opt Options) ([]Rule, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	// Mining reads every cell many times over; a store-backed binning
+	// (out-of-core selection) materializes a private in-memory copy of the
+	// codes first rather than hammering the store with random access.
+	codes, err := b.MaterializedCodes()
+	if err != nil {
+		return nil, fmt.Errorf("rules: %w", err)
+	}
 	if len(opt.TargetCols) == 0 {
 		all := bitset.New(n)
 		all.Fill()
-		return capRules(mineSubset(b, all, nil, opt), opt.MaxRules), nil
+		return capRules(mineSubset(b, codes, all, nil, opt), opt.MaxRules), nil
 	}
 
 	// Target-column mode: split rows by the target columns' bin combination,
@@ -152,7 +159,7 @@ func Mine(b *binning.Binned, opt Options) ([]Rule, error) {
 		var key strings.Builder
 		items := make(Itemset, len(targetIdx))
 		for i, ci := range targetIdx {
-			items[i] = b.Item(ci, r)
+			items[i] = b.ItemOf(ci, int(codes[ci][r]))
 			fmt.Fprintf(&key, "%d,", items[i])
 		}
 		k := key.String()
@@ -184,7 +191,7 @@ func Mine(b *binning.Binned, opt Options) ([]Rule, error) {
 		if sub.MaxItemsetSize < sub.MinRuleSize {
 			sub.MaxItemsetSize = sub.MinRuleSize
 		}
-		mined := mineSubset(b, p.rows, skipCols(targetIdx), sub)
+		mined := mineSubset(b, codes, p.rows, skipCols(targetIdx), sub)
 		for i := range mined {
 			r := &mined[i]
 			r.RHS = append(append(Itemset{}, r.RHS...), p.items...)
@@ -207,7 +214,7 @@ func skipCols(cols []int) map[int]bool {
 
 // mineSubset runs Apriori over the rows in `rows`, excluding columns in
 // `skip`. Support thresholds are relative to |rows|.
-func mineSubset(b *binning.Binned, rows *bitset.Set, skip map[int]bool, opt Options) []Rule {
+func mineSubset(b *binning.Binned, allCodes [][]uint16, rows *bitset.Set, skip map[int]bool, opt Options) []Rule {
 	n := b.NumRows()
 	sz := rows.Count()
 	if sz == 0 {
@@ -232,7 +239,7 @@ func mineSubset(b *binning.Binned, rows *bitset.Set, skip map[int]bool, opt Opti
 		}
 		missingBin := b.Cols[c].MissingBin
 		perBin := make(map[uint16]*bitset.Set)
-		codes := b.Codes[c]
+		codes := allCodes[c]
 		rows.ForEach(func(r int) bool {
 			code := codes[r]
 			if !opt.IncludeMissing && int(code) == missingBin {

@@ -149,13 +149,31 @@ func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "%v", err)
 		return
 	}
+	var toStore bool
+	switch v := qp.Get("store"); v {
+	case "", "0", "false":
+	case "1", "true":
+		toStore = true
+	default:
+		writeBadRequest(w, "parameter store: want 1/true or 0/false, got %q", v)
+		return
+	}
 	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxCSVBody))
 	if err != nil {
 		writeCSVError(w, err)
 		return
 	}
 	start := time.Now()
-	m, err := h.svc.AddTable(name, t, opt, qp.Get("replace") == "1" || qp.Get("replace") == "true")
+	replace := qp.Get("replace") == "1" || qp.Get("replace") == "true"
+	var m *core.Model
+	if toStore {
+		// Out-of-core upload: bin codes live in a code store file in the
+		// disk cache; the served model keeps only the table, the binnings
+		// and the embedding resident.
+		m, err = h.svc.AddTableOutOfCore(name, t, opt, replace)
+	} else {
+		m, err = h.svc.AddTable(name, t, opt, replace)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -165,6 +183,7 @@ func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
 		"rows":          m.T.NumRows(),
 		"cols":          m.T.NumCols(),
 		"columns":       m.T.ColumnNames(),
+		"out_of_core":   m.OutOfCore(),
 		"preprocess_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
@@ -276,6 +295,13 @@ func pipelineOptions(base core.Options, qp map[string][]string) (*core.Options, 
 			*dst = n
 		}
 	}
+	if v, ok := get("scale_slab_budget"); ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("parameter scale_slab_budget: want a non-negative byte count, got %q", v)
+		}
+		opt.Scale.SlabBudgetBytes = n
+	}
 	if v, ok := get("seed"); ok {
 		seed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
@@ -323,23 +349,26 @@ type selectRequest struct {
 
 // scaleDTO is the JSON shape of core.ScaleOptions. threshold 0 disables the
 // scaled path for the request (the explicit way to force exact selection on
-// a model configured with a threshold); threshold 1 forces it.
+// a model configured with a threshold); threshold 1 forces it. slab_budget
+// caps the in-memory sampled-vector slab in bytes (0 = never spill).
 type scaleDTO struct {
-	Threshold    int `json:"threshold"`
-	SampleBudget int `json:"sample_budget"`
-	BatchSize    int `json:"batch_size"`
-	MaxIter      int `json:"max_iter"`
+	Threshold    int   `json:"threshold"`
+	SampleBudget int   `json:"sample_budget"`
+	BatchSize    int   `json:"batch_size"`
+	MaxIter      int   `json:"max_iter"`
+	SlabBudget   int64 `json:"slab_budget"`
 }
 
 func (d *scaleDTO) toOptions() (*core.ScaleOptions, error) {
-	if d.Threshold < 0 || d.SampleBudget < 0 || d.BatchSize < 0 || d.MaxIter < 0 {
+	if d.Threshold < 0 || d.SampleBudget < 0 || d.BatchSize < 0 || d.MaxIter < 0 || d.SlabBudget < 0 {
 		return nil, fmt.Errorf("scale: all knobs must be non-negative")
 	}
 	return &core.ScaleOptions{
-		Threshold:    d.Threshold,
-		SampleBudget: d.SampleBudget,
-		BatchSize:    d.BatchSize,
-		MaxIter:      d.MaxIter,
+		Threshold:       d.Threshold,
+		SampleBudget:    d.SampleBudget,
+		BatchSize:       d.BatchSize,
+		MaxIter:         d.MaxIter,
+		SlabBudgetBytes: d.SlabBudget,
 	}, nil
 }
 

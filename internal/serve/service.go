@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 
@@ -69,6 +70,9 @@ type TableInfo struct {
 	Rows    int      `json:"rows,omitempty"`
 	Cols    int      `json:"cols,omitempty"`
 	Columns []string `json:"columns,omitempty"`
+	// OutOfCore reports that the model's bin codes are served from an
+	// external code store rather than memory.
+	OutOfCore bool `json:"out_of_core,omitempty"`
 }
 
 // AddTable pre-processes t and registers it under name. Concurrent AddTable
@@ -102,6 +106,51 @@ func (s *Service) AddTable(name string, t *table.Table, opt *core.Options, repla
 	return m, nil
 }
 
+// AddTableOutOfCore is AddTable for tables that should serve out-of-core:
+// after pre-processing, the bin codes are exported to a code store file in
+// the disk cache, the model is switched onto it and the inline codes are
+// released, so the served model's resident footprint excludes the per-cell
+// code matrix and scaled selections stream the store instead. The
+// persisted model references the store file (modelio v5), so disk reloads
+// come back out-of-core too. Requires a disk-backed store; selections are
+// bit-identical to the in-memory path. The whole build — export, attach,
+// persist, insert — runs under the table's per-name lock, so concurrent
+// uploads of one name serialize instead of pairing one upload's model with
+// the other's code store.
+func (s *Service) AddTableOutOfCore(name string, t *table.Table, opt *core.Options, replace bool) (*core.Model, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, errors.New("serve: table name must not be empty")
+	}
+	csPath, err := s.store.CodeStorePath(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	nl := s.store.lockName(name)
+	nl.Lock()
+	defer nl.Unlock()
+	if !replace && s.store.Contains(name) {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	o := s.defaults
+	if opt != nil {
+		o = *opt
+	}
+	m, err := core.Preprocess(t, o)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.UseCodeStoreFile(csPath, 0); err != nil {
+		return nil, err
+	}
+	if err := s.store.putLocked(name, m); err != nil {
+		// Do not strand a code store whose model never registered.
+		os.Remove(csPath)
+		return nil, err
+	}
+	s.invalidateRules(name)
+	return m, nil
+}
+
 // AppendRows ingests rows into the named table via core.Model.Append: the
 // replacement model is built off to the side (bin boundaries, embeddings
 // and caches reused incrementally; full re-preprocess only on drift) and
@@ -109,6 +158,13 @@ func (s *Service) AddTable(name string, t *table.Table, opt *core.Options, repla
 // selections in flight finish against the model they started with and
 // concurrent appends compose instead of losing rows. Cached rules for the
 // name are invalidated — they were mined over the old rows.
+//
+// Out-of-core tables stay out-of-core: Append materializes inline codes
+// to build the successor, so the successor's codes are re-exported over
+// the table's store file and dropped again before the swap — the memory
+// bound the table was uploaded under survives its appends. In-flight
+// selections on the old model keep reading the replaced store through
+// their open mapping.
 func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOptions) (*core.Model, core.AppendStats, error) {
 	var stats core.AppendStats
 	changed := false
@@ -121,6 +177,15 @@ func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOpti
 		}
 		stats = st
 		changed = next != cur
+		if changed && cur.OutOfCore() && !next.OutOfCore() {
+			csPath, perr := s.store.CodeStorePath(name)
+			if perr != nil {
+				return nil, fmt.Errorf("serve: re-exporting code store after append: %w", perr)
+			}
+			if _, err := next.UseCodeStoreFile(csPath, 0); err != nil {
+				return nil, fmt.Errorf("serve: re-exporting code store after append: %w", err)
+			}
+		}
 		return next, nil
 	})
 	if err != nil {
@@ -179,6 +244,7 @@ func (s *Service) info(name string) TableInfo {
 	info.Rows = m.T.NumRows()
 	info.Cols = m.T.NumCols()
 	info.Columns = m.T.ColumnNames()
+	info.OutOfCore = m.OutOfCore()
 	return info
 }
 

@@ -221,6 +221,13 @@ func (s *Store) Put(name string, m *core.Model) error {
 	nl := s.lockName(name)
 	nl.Lock()
 	defer nl.Unlock()
+	return s.putLocked(name, m)
+}
+
+// putLocked is Put for callers already holding the per-name lock (the
+// out-of-core add path, which must keep the code-store file and the model
+// insert under one critical section).
+func (s *Store) putLocked(name string, m *core.Model) error {
 	if s.opt.Dir != "" {
 		if err := s.persist(name, m); err != nil {
 			return fmt.Errorf("serve: persisting model %q: %w", name, err)
@@ -331,6 +338,7 @@ func (s *Store) Remove(name string) {
 	s.mu.Unlock()
 	if s.opt.Dir != "" {
 		os.Remove(s.path(name))
+		os.Remove(s.path(name) + codesExt)
 	}
 }
 
@@ -397,8 +405,26 @@ func (s *Store) insertLocked(name string, m *core.Model) {
 	}
 }
 
-// modelExt is the on-disk model file suffix.
-const modelExt = ".subtab"
+// modelExt is the on-disk model file suffix; codesExt is appended to the
+// model path for a table's external code store (out-of-core selection).
+const (
+	modelExt = ".subtab"
+	codesExt = ".codes"
+)
+
+// CodeStorePath returns the disk-cache path of name's external code store
+// — the file an out-of-core table's bin codes live in, next to its model
+// file so modelio's relative references resolve. The cache directory is
+// created if needed. Requires a disk-backed store.
+func (s *Store) CodeStorePath(name string) (string, error) {
+	if s.opt.Dir == "" {
+		return "", errors.New("serve: out-of-core tables need a disk-backed store (set StoreOptions.Dir)")
+	}
+	if err := os.MkdirAll(s.opt.Dir, 0o755); err != nil {
+		return "", err
+	}
+	return s.path(name) + codesExt, nil
+}
 
 // path maps a table name to its cache file. Names are hex-encoded so
 // arbitrary user-supplied names (slashes, dots, unicode) cannot escape Dir.

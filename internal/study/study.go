@@ -235,10 +235,10 @@ func countArtifacts(b *binning.Binned, v SubTableView) int {
 	// Pseudo-constant columns: every displayed row in one bin, but that bin
 	// holds under 60% of the full table.
 	for _, c := range v.Cols {
-		first := b.Codes[c][v.Rows[0]]
+		first := b.Code(c, v.Rows[0])
 		constant := true
 		for _, r := range v.Rows[1:] {
-			if b.Codes[c][r] != first {
+			if b.Code(c, r) != first {
 				constant = false
 				break
 			}
@@ -248,7 +248,7 @@ func countArtifacts(b *binning.Binned, v SubTableView) int {
 		}
 		cnt := 0
 		for r := 0; r < n; r++ {
-			if b.Codes[c][r] == first {
+			if b.Code(c, r) == first {
 				cnt++
 			}
 		}
@@ -266,7 +266,7 @@ func countArtifacts(b *binning.Binned, v SubTableView) int {
 			mapping := make(map[uint16]uint16)
 			perfect := true
 			for _, r := range v.Rows {
-				bi, bj := b.Codes[ci][r], b.Codes[cj][r]
+				bi, bj := b.Code(ci, r), b.Code(cj, r)
 				if prev, ok := mapping[bi]; ok && prev != bj {
 					perfect = false
 					break
@@ -279,9 +279,9 @@ func countArtifacts(b *binning.Binned, v SubTableView) int {
 			// Check the mapping's confidence in the full table.
 			match, total := 0, 0
 			for r := 0; r < n; r++ {
-				if bj, ok := mapping[b.Codes[ci][r]]; ok {
+				if bj, ok := mapping[b.Code(ci, r)]; ok {
 					total++
-					if b.Codes[cj][r] == bj {
+					if b.Code(cj, r) == bj {
 						match++
 					}
 				}

@@ -48,6 +48,15 @@
 // over every tuple-vector. Below the threshold the pipeline is bit-for-bit
 // the exact path.
 //
+// Tables larger than memory serve out-of-core: Model.UseCodeStoreFile
+// moves the bin codes into a chunked, checksummed, mmap-backed code store
+// and releases the in-memory copy, the scaled Select streams its sampler
+// over store blocks, and ScaleOptions.SlabBudgetBytes spills the sampled
+// tuple-vector slab to a temp file past the budget — all byte-identical to
+// the in-memory path. SaveModel on a store-backed model writes a
+// checksummed reference to the store (format v5) instead of inlining the
+// codes.
+//
 // The packages behind this facade also implement the paper's evaluation
 // stack: the informativeness metrics (Defs. 3.6–3.7), an Apriori rule miner,
 // the greedy/semi-greedy Algorithm 1, and the RAN/NC/MAB/EmbDI baselines of
