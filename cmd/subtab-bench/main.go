@@ -6,15 +6,17 @@
 // so successive PRs can record before/after numbers measured by the exact
 // same harness:
 //
-//	subtab-bench -label baseline -out BENCH_PR4.json   # before a change
-//	subtab-bench -label current  -out BENCH_PR4.json   # after
+//	subtab-bench -label baseline -out BENCH_PR6.json   # before a change
+//	subtab-bench -label current  -out BENCH_PR6.json   # after
 //
 // The -suite flag picks what runs: "core" is the historical set over the
 // 3000-row FL table, "large" is the Fig9SelectLarge set (exact-path 100k
 // baseline, scaled 100k, scaled 1M — the interactivity claim for
 // million-row tables), "oocore" is the out-of-core set (scaled selection
 // over an mmap'd code store, with and without slab spilling, on a table
-// larger than the configured memory budget), "all" runs everything.
+// larger than the configured memory budget), "shard" is the sharded
+// scatter/gather set (scaled selection fanned out across 4 shard stores,
+// the number to compare against OOCoreSelect/1M), "all" runs everything.
 //
 // -benchtime passes through to the testing harness (e.g. "1x" for a
 // compile-and-crash smoke, "2s" for stabler timings); a benchmark that
@@ -76,9 +78,9 @@ func main() {
 	// forwarded to the harness testing.Benchmark reads it from.
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH_PR4.json", "JSON file to merge results into")
+		out       = flag.String("out", "BENCH_PR6.json", "JSON file to merge results into")
 		label     = flag.String("label", "current", "label to record results under")
-		suite     = flag.String("suite", "all", "benchmark suite: core, large, oocore, or all")
+		suite     = flag.String("suite", "all", "benchmark suite: core, large, oocore, shard, or all")
 		benchtime = flag.String("benchtime", "", `passed to the testing harness, e.g. "1x" or "2s" (empty = the 1s default)`)
 	)
 	flag.Parse()
@@ -108,12 +110,15 @@ func main() {
 		runLargeSuite(run)
 	case "oocore":
 		runOOCoreSuite(run)
+	case "shard":
+		runShardSuite(run)
 	case "all":
 		runCoreSuite(run)
 		runLargeSuite(run)
 		runOOCoreSuite(run)
+		runShardSuite(run)
 	default:
-		log.Fatalf("unknown -suite %q: want core, large, oocore or all", *suite)
+		log.Fatalf("unknown -suite %q: want core, large, oocore, shard or all", *suite)
 	}
 
 	merged := map[string]map[string]entry{}
@@ -392,6 +397,51 @@ func runOOCoreSuite(run func(name string, fn func(b *testing.B))) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := m.SelectWith(nil, 10, 10, nil, spill); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runShardSuite measures the sharded scatter/gather path: the same 1M-row
+// model as the oocore suite, with its bin codes split across 4 shard
+// stores instead of one. ShardSelect/1M-4 is the scaled select whose
+// stratified sample fans out one goroutine per shard and merges the
+// per-stratum minima associatively — selections are byte-identical to the
+// single-store path, so the only question this number answers is what the
+// split costs (or saves) against OOCoreSelect/1M.
+func runShardSuite(run func(name string, fn func(b *testing.B))) {
+	const rows = 1_000_000
+	ds, err := datagen.ByName("FL", rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("preprocessing FL 1M (setup)")
+	m, err := subtab.Preprocess(ds.T, largePipelineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "subtab-bench-shard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths := make([]string, 4)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("fl1m.codes.%03d", i))
+	}
+	src, err := m.UseShardedStores(paths, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	log.Printf("shard stores: %d shards of ~%d rows, %d rows/block", src.NumShards(), src.ShardRows(0), src.BlockRows())
+
+	scale := &subtab.ScaleOptions{Threshold: 50_000}
+	run("ShardSelect/1M-4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SelectWith(nil, 10, 10, nil, scale); err != nil {
 				b.Fatal(err)
 			}
 		}

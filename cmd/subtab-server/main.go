@@ -19,6 +19,14 @@
 // and set -memory-budget to spill the sampled tuple-vector slab of scaled
 // selects past that size; selections are byte-identical either way.
 //
+// Sharded serving: upload with shards=N to split a table's codes across N
+// shard stores, then spread the shard files (plus a copy of the model
+// file) across instances. Instances holding only some shards run with
+// -shard-role worker; the instance clients talk to runs with -shard-role
+// coordinator -shard-peers http://w1:8080,http://w2:8080 and serves
+// scaled selections by scattering per-shard sample requests to its peers
+// and merging — byte-identical to one instance holding every shard.
+//
 // API (see internal/serve and README.md for details):
 //
 //	GET    /healthz
@@ -30,6 +38,7 @@
 //	POST   /tables/{name}/select     {"k":10,"l":10,"targets":[...]}
 //	POST   /tables/{name}/query      {"query":{...},"k":10,"l":10}
 //	GET    /tables/{name}/rules
+//	POST   /shards/{name}/{idx}/sample  (shard-exec, instance-to-instance)
 package main
 
 import (
@@ -64,15 +73,56 @@ func main() {
 		timeout   = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown grace period")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profile serving hot spots in place)")
 		memBudget = flag.String("memory-budget", "", "default per-request budget for the sampled tuple-vector slab, e.g. 64MiB (plain bytes, or KiB/MiB/GiB); selections whose slab exceeds it spill to a temp file. Empty = never spill. Overridable per request via the select body's scale.slab_budget")
+		shardRole = flag.String("shard-role", "", `role in a sharded deployment: "worker" (holds some shards of sharded tables, answers shard-exec requests) or "coordinator" (scatters scaled selects to -shard-peers). Empty = standalone: sharded tables must be fully local`)
+		peerList  = flag.String("shard-peers", "", "comma-separated base URLs of the instances holding this server's missing shards (coordinator role only)")
 	)
 	flag.Parse()
 	slabBudget, err := parseByteSize(*memBudget)
 	if err != nil {
 		log.Fatalf("-memory-budget: %v", err)
 	}
-	if err := run(*addr, *cacheDir, *maxModels, *seed, slabBudget, *timeout, *withPprof, flag.Args()); err != nil {
+	shardOpt, err := parseShardFlags(*shardRole, *peerList, *cacheDir)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if err := run(*addr, *cacheDir, *maxModels, *seed, slabBudget, *timeout, *withPprof, shardOpt, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// shardConfig is the validated form of the -shard-role/-shard-peers pair.
+type shardConfig struct {
+	role  string
+	peers []string
+}
+
+func parseShardFlags(role, peerList, cacheDir string) (shardConfig, error) {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	switch role {
+	case "":
+		if len(peers) > 0 {
+			return shardConfig{}, fmt.Errorf("-shard-peers requires -shard-role coordinator")
+		}
+	case "worker":
+		if len(peers) > 0 {
+			return shardConfig{}, fmt.Errorf("-shard-peers is a coordinator flag; workers only answer shard-exec requests")
+		}
+	case "coordinator":
+		if len(peers) == 0 {
+			return shardConfig{}, fmt.Errorf("-shard-role coordinator requires -shard-peers")
+		}
+	default:
+		return shardConfig{}, fmt.Errorf("-shard-role: want worker or coordinator, got %q", role)
+	}
+	if role != "" && cacheDir == "" {
+		return shardConfig{}, fmt.Errorf("-shard-role %s requires -cache-dir (shard files live in the model cache)", role)
+	}
+	return shardConfig{role: role, peers: peers}, nil
 }
 
 // parseByteSize parses a byte count with an optional KiB/MiB/GiB suffix.
@@ -98,7 +148,7 @@ func parseByteSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
-func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, timeout time.Duration, withPprof bool, preload []string) error {
+func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, timeout time.Duration, withPprof bool, shardOpt shardConfig, preload []string) error {
 	opt := subtab.DefaultOptions()
 	opt.Bins.Seed = seed
 	opt.Corpus.Seed = seed
@@ -106,8 +156,34 @@ func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, tim
 	opt.ClusterSeed = seed
 	opt.Scale.SlabBudgetBytes = slabBudget
 
-	store := serve.NewStore(serve.StoreOptions{MaxModels: maxModels, Dir: cacheDir})
+	sopt := serve.StoreOptions{MaxModels: maxModels, Dir: cacheDir}
+	if shardOpt.role != "" {
+		// Workers and coordinators both load sharded models whose files are
+		// spread across instances; only the coordinator can sample the
+		// missing shards from peers.
+		sopt.AllowMissingShards = true
+	}
+	if shardOpt.role == "coordinator" {
+		peers := shardOpt.peers
+		sopt.PrepareModel = func(name string, m *subtab.Model) error {
+			src := m.ShardSource()
+			if src == nil || src.Complete() {
+				return nil
+			}
+			sampler, err := serve.NewShardSampler(name, m, serve.ShardPeersOptions{Peers: peers})
+			if err != nil {
+				return err
+			}
+			m.SetShardSampler(sampler)
+			log.Printf("table %s: coordinating %d shards across %d peers", name, src.NumShards(), len(peers))
+			return nil
+		}
+	}
+	store := serve.NewStore(sopt)
 	svc := serve.NewService(store, opt)
+	if shardOpt.role != "" {
+		log.Printf("shard role: %s (peers: %s)", shardOpt.role, strings.Join(shardOpt.peers, ", "))
+	}
 
 	// Pre-load name=path.csv tables so the server starts warm. A table that
 	// is already in the disk cache is served from there; Preprocess runs

@@ -28,6 +28,17 @@ type CodeSource interface {
 	Code(c, r int) uint16
 }
 
+// PartialCodeSource is a CodeSource that may be missing row ranges: a
+// sharded source whose shards are partly owned by remote peers (package
+// shard). BlockAvailable reports whether block blk is locally readable;
+// full-scan consumers (attach-time validation) skip unavailable blocks,
+// and the selection path gates partial sources onto the scatter/gather
+// sampler instead of reading them directly.
+type PartialCodeSource interface {
+	CodeSource
+	BlockAvailable(blk int) bool
+}
+
 // CodeSink consumes column code chunks — the export half of the
 // out-of-core path (codestore.Writer implements it).
 type CodeSink interface {
@@ -102,12 +113,18 @@ func (b *Binned) AttachStore(cs CodeSource) error {
 
 // validateSource streams every block once and checks each code against the
 // owning column's bin count, so a swapped or corrupted store cannot index
-// labels or embeddings out of range later.
+// labels or embeddings out of range later. Partial sources are validated
+// over the blocks they can read — remote shards are each validated by the
+// peer that owns them.
 func (b *Binned) validateSource(cs CodeSource) error {
+	partial, _ := cs.(PartialCodeSource)
 	scratch := make([]uint16, min(cs.BlockRows(), cs.NumRows()))
 	for c := range b.Cols {
 		nb := uint16(b.Cols[c].NumBins())
 		for blk := 0; blk < cs.NumBlocks(); blk++ {
+			if partial != nil && !partial.BlockAvailable(blk) {
+				continue
+			}
 			for i, code := range cs.ColumnBlock(c, blk, scratch) {
 				if code >= nb {
 					return fmt.Errorf("binning: attach: column %d row %d has code %d, column has %d bins",

@@ -126,6 +126,11 @@ type Model struct {
 	sampleMu    sync.Mutex
 	sampleCache map[int][]int
 
+	// shardSampler, when set, produces scaled-path candidate samples for a
+	// model whose shards are partly remote (the coordinator role; see
+	// SetShardSampler). Nil on every locally complete model.
+	shardSampler ShardSampler
+
 	// fullVecs caches the tuple-vectors of every row over all columns
 	// (built lazily on the first selection that needs them). Full-table
 	// displays — the warm serving steady state — reuse the matrix directly,
@@ -455,6 +460,21 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 		return nil, fmt.Errorf("core: %d target columns exceed l=%d", len(targetIdx), l)
 	}
 
+	// A model with remote shards cannot read arbitrary cells; the only
+	// selection it can serve is the scaled full-table path, whose reads all
+	// resolve through the scatter/gather sampler's overlay.
+	if src := m.ShardSource(); src != nil && !src.Complete() {
+		if m.shardSampler == nil {
+			return nil, fmt.Errorf("core: table has remote shards and no shard sampler installed; selections need a coordinator with shard peers")
+		}
+		if !scale.Active(len(rows)) {
+			return nil, fmt.Errorf("core: a table with remote shards serves scaled selections only (set ScaleOptions.Threshold)")
+		}
+		if len(rows) != m.T.NumRows() || !identityRows(rows) || !identityCols(cols, m.T.NumCols()) {
+			return nil, fmt.Errorf("core: a table with remote shards serves full-table selections only (queries need the rows local)")
+		}
+	}
+
 	// Row selection (Alg. 2 lines 8-12): cluster the tuple-vectors, then
 	// pick one representative per cluster. Among each cluster's most-central
 	// members we take the row least similar (binned Jaccard, the measure of
@@ -475,12 +495,24 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 	// to real row ids.
 	dim := m.Emb.Dim()
 	candRows := rows
+	// csrc, when non-nil, is the sampled-rows overlay of a coordinator
+	// model: every downstream code read of this selection goes through it
+	// instead of the (partly remote) shard source.
+	var csrc binning.CodeSource
 	var rowSlab *f32.Slab
 	var rowRes *cluster.Result
 	if scale.Active(len(rows)) {
 		scale = scale.withDefaults()
-		candRows = m.sampleCandidates(rows, cols, scale.SampleBudget)
-		slab, done, err := m.sampledRowSlab(candRows, cols, scale)
+		if src := m.ShardSource(); src != nil && !src.Complete() {
+			sampled, overlay, err := m.shardSampler.Sample(cols, scale.SampleBudget)
+			if err != nil {
+				return nil, fmt.Errorf("core: scatter/gather sampling: %w", err)
+			}
+			candRows, csrc = sampled, overlay
+		} else {
+			candRows = m.sampleCandidates(rows, cols, scale.SampleBudget)
+		}
+		slab, done, err := m.sampledRowSlab(candRows, cols, scale, csrc)
 		if err != nil {
 			return nil, fmt.Errorf("core: building sampled tuple-vector slab: %w", err)
 		}
@@ -502,14 +534,14 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 		buf := getVecBuf(len(rows) * dim)
 		defer putVecBuf(buf)
 		rowVecs := f32.Wrap(len(rows), dim, *buf)
-		m.gatherTupleVectors(rowVecs, rows, cols)
+		m.gatherTupleVectors(rowVecs, rows, cols, nil)
 		rowSlab = f32.WrapSlab(rowVecs)
 	}
 	if rowRes == nil {
 		mat, _ := rowSlab.Matrix() // exact-path slabs are always resident
 		rowRes = cluster.KMeansMatrix(mat, k, cluster.Options{Seed: m.Opt.ClusterSeed})
 	}
-	repIdx := m.diverseRepresentatives(rowRes, rowSlab, candRows, cols, 16)
+	repIdx := m.diverseRepresentatives(rowRes, rowSlab, candRows, cols, 16, csrc)
 	selRows := make([]int, 0, len(repIdx))
 	for _, i := range repIdx {
 		selRows = append(selRows, candRows[i])
@@ -534,7 +566,7 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 		// O(SampleBudget) per column too.
 		var picked []int
 		if m.Opt.Columns == Centroids {
-			picked = m.centroidColumns(candCols, candRows, need)
+			picked = m.centroidColumns(candCols, candRows, need, csrc)
 		} else {
 			picked = m.patternGroupColumns(candCols, candRows, need)
 		}
@@ -568,8 +600,9 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 // index and the final argmin scan is serial with first-wins ties, so the
 // result is bit-identical to the serial path. The vectors arrive as a slab:
 // resident slabs are scanned in place, spilled slabs chunk by chunk, with
-// identical distances either way.
-func (m *Model) diverseRepresentatives(res *cluster.Result, vecs *f32.Slab, rows, cols []int, q int) []int {
+// identical distances either way. src, when non-nil, overrides where the
+// Jaccard comparisons read their codes (the coordinator overlay).
+func (m *Model) diverseRepresentatives(res *cluster.Result, vecs *f32.Slab, rows, cols []int, q int, src binning.CodeSource) []int {
 	if res.K == 0 {
 		return nil
 	}
@@ -620,13 +653,17 @@ func (m *Model) diverseRepresentatives(res *cluster.Result, vecs *f32.Slab, rows
 		}
 		return order[x] < order[y]
 	})
+	code := m.B.Code
+	if src != nil {
+		code = src.Code
+	}
 	jaccard := func(r1, r2 int) float64 {
 		if len(cols) == 0 {
 			return 0
 		}
 		same := 0
 		for _, c := range cols {
-			if m.B.Code(c, r1) == m.B.Code(c, r2) {
+			if code(c, r1) == code(c, r2) {
 				same++
 			}
 		}
@@ -662,13 +699,23 @@ func (m *Model) diverseRepresentatives(res *cluster.Result, vecs *f32.Slab, rows
 }
 
 // centroidColumns is the literal Algorithm 2 column step: k-means over the
-// column-mean vectors, one representative per cluster.
-func (m *Model) centroidColumns(candCols, rows []int, need int) []int {
+// column-mean vectors, one representative per cluster. src, when non-nil,
+// overrides where the column vectors read their codes (the coordinator
+// overlay); the gather arithmetic is identical either way.
+func (m *Model) centroidColumns(candCols, rows []int, need int, src binning.CodeSource) []int {
 	colVecs := f32.New(len(candCols), m.Emb.Dim())
 	f32.ParallelRange(len(candCols), f32.Workers(len(candCols)), func(start, end int) {
 		idx := make([]int32, len(rows))
 		for i := start; i < end; i++ {
-			m.colVectorInto(colVecs.Row(i), candCols[i], rows, idx)
+			c := candCols[i]
+			if src == nil {
+				m.colVectorInto(colVecs.Row(i), c, rows, idx)
+				continue
+			}
+			for j, r := range rows {
+				idx[j] = m.itemRow[m.B.ItemOf(c, int(src.Code(c, r)))]
+			}
+			f32.MeanPoolInto(colVecs.Row(i), m.items, idx)
 		}
 	})
 	colRes := cluster.KMeansMatrix(colVecs, need, cluster.Options{Seed: m.Opt.ClusterSeed + 1})

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"subtab/internal/binning"
+	"subtab/internal/shard"
 )
 
 // stratifiedReservoir deterministically samples up to budget candidate rows
@@ -34,6 +35,14 @@ func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed i
 		copy(out, rows)
 		sort.Ints(out)
 		return out
+	}
+
+	// Shard-backed full-table scans scatter: one goroutine per shard, merged
+	// associatively (package shard) — same sample, one shard-scan's worth of
+	// wall clock. Query subsets fall through to the generic block cursor.
+	if src, ok := b.Source().(*shard.Source); ok && src.Complete() &&
+		len(rows) == src.NumRows() && identityRows(rows) {
+		return shardedReservoir(b, src, cols, budget, seed)
 	}
 
 	rowH := make([]uint64, len(rows))
@@ -181,14 +190,9 @@ func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed i
 	return sample
 }
 
-// sampleHash maps (seed, row) to a uniform 64-bit value with a
-// splitmix64-style finalizer.
+// sampleHash maps (seed, row) to a uniform 64-bit value. The hash lives
+// in package shard (shard.RowHash) so per-shard scans — local or on a
+// peer — rank rows identically to this whole-table scan.
 func sampleHash(seed int64, row int) uint64 {
-	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(row)*0x94D049BB133111EB
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
+	return shard.RowHash(seed, int64(row))
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"subtab/internal/binning"
 	"subtab/internal/cluster"
 	"subtab/internal/f32"
 )
@@ -99,16 +100,18 @@ func (m *Model) sampleCandidates(rows, cols []int, budget int) []int {
 // never materializes vectors for rows the sample dropped, which is the
 // point of sampling before embedding lookup on million-row tables.
 // The returned cleanup releases the pooled buffer or the spill file.
-func (m *Model) sampledRowSlab(rows, cols []int, scale ScaleOptions) (*f32.Slab, func(), error) {
+// src, when non-nil, is a code overlay (the coordinator's gathered shard
+// codes) that replaces the model's own code source for the gather.
+func (m *Model) sampledRowSlab(rows, cols []int, scale ScaleOptions, src binning.CodeSource) (*f32.Slab, func(), error) {
 	dim := m.Emb.Dim()
 	need := int64(len(rows)) * int64(dim) * 4
 	if scale.SlabBudgetBytes <= 0 || need <= scale.SlabBudgetBytes {
 		buf := getVecBuf(len(rows) * dim)
 		mat := f32.Wrap(len(rows), dim, *buf)
-		if identityCols(cols, m.T.NumCols()) && m.fullVecsReady.Load() {
+		if src == nil && identityCols(cols, m.T.NumCols()) && m.fullVecsReady.Load() {
 			f32.GatherRows(mat, m.fullVecs, rows)
 		} else {
-			m.gatherTupleVectors(mat, rows, cols)
+			m.gatherTupleVectors(mat, rows, cols, src)
 		}
 		return f32.WrapSlab(mat), func() { putVecBuf(buf) }, nil
 	}
@@ -122,7 +125,7 @@ func (m *Model) sampledRowSlab(rows, cols []int, scale ScaleOptions) (*f32.Slab,
 	for start := 0; start < len(rows); start += chunkRows {
 		end := min(start+chunkRows, len(rows))
 		chunk := f32.Wrap(end-start, dim, (*buf)[:(end-start)*dim])
-		m.gatherTupleVectors(chunk, rows[start:end], cols)
+		m.gatherTupleVectors(chunk, rows[start:end], cols, src)
 		if err := slab.WriteChunk(start, chunk); err != nil {
 			slab.Close()
 			return nil, nil, err
@@ -138,19 +141,23 @@ func (m *Model) sampledRowSlab(rows, cols []int, scale ScaleOptions) (*f32.Slab,
 // code store, the access pattern the store's layout is built for — and
 // pools whole rows with the f32.MeanPoolRows kernel. Both paths compute
 // identical vectors (same per-row index values, same pooling arithmetic).
-func (m *Model) gatherTupleVectors(dst f32.Matrix, rows, cols []int) {
-	if m.B.HasInlineCodes() {
-		f32.ParallelRange(len(rows), f32.Workers(len(rows)), func(start, end int) {
-			idx := make([]int32, len(cols))
-			for i := start; i < end; i++ {
-				m.rowVectorInto(dst.Row(i), rows[i], cols, idx)
-			}
-		})
-		return
+// A non-nil src overrides where the codes are read (the coordinator
+// overlay); otherwise the model's own inline codes or attached store.
+func (m *Model) gatherTupleVectors(dst f32.Matrix, rows, cols []int, src binning.CodeSource) {
+	if src == nil {
+		if m.B.HasInlineCodes() {
+			f32.ParallelRange(len(rows), f32.Workers(len(rows)), func(start, end int) {
+				idx := make([]int32, len(cols))
+				for i := start; i < end; i++ {
+					m.rowVectorInto(dst.Row(i), rows[i], cols, idx)
+				}
+			})
+			return
+		}
+		src = m.B.Source()
 	}
 	k := len(cols)
 	idx := make([]int32, len(rows)*k)
-	src := m.B.Source()
 	br := src.BlockRows()
 	if len(rows)*8 < src.NumRows() {
 		// Sparse gather: the sampled rows touch a small fraction of every

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"subtab/internal/binning"
+	"subtab/internal/shard"
+)
+
+// Sharded selection: a model's code store may be split into N row-range
+// shards (package shard). Locally complete sharded models fan the scaled
+// sampler out with one goroutine per shard and merge the per-shard
+// summaries associatively — bit-identical to the single-store scan.
+// Models with remote shards (a coordinator in a multi-server deployment)
+// route sampling through an installed ShardSampler, which gathers the
+// same summaries from peers over HTTP plus the candidate rows' codes, so
+// the rest of the selection runs locally on an overlay without touching
+// the missing shards.
+
+// ShardSampler produces the scaled path's candidate sample for a model
+// whose shards are partly remote: rows is exactly what the single-store
+// stratified reservoir would return for a full-table scan at this budget,
+// and codes covers (at least) those rows so every downstream read of the
+// selection resolves locally. Implementations live in the serving layer
+// (scatter over peers, gather and merge); they must be safe for
+// concurrent use.
+type ShardSampler interface {
+	Sample(cols []int, budget int) (rows []int, codes binning.CodeSource, err error)
+}
+
+// SetShardSampler installs the scatter/gather sampler consulted when the
+// model's shards are partly remote. Install before the model starts
+// serving; it must not race in-flight selections.
+func (m *Model) SetShardSampler(s ShardSampler) { m.shardSampler = s }
+
+// ShardSource returns the model's sharded code source, or nil when the
+// model is not shard-backed.
+func (m *Model) ShardSource() *shard.Source {
+	src, _ := m.B.Source().(*shard.Source)
+	return src
+}
+
+// SampleSeed returns the seed the scaled sampler ranks rows with — the
+// value a coordinator sends to shard peers so remote scans hash
+// identically to local ones.
+func (m *Model) SampleSeed() int64 { return m.Opt.ClusterSeed ^ scaleSampleSeed }
+
+// SampleShard scans one locally held shard for a scatter/gather sample:
+// the worker half of the shard-exec protocol. cols, budget and seed come
+// from the coordinator's request; the summary's rows are global ids.
+func (m *Model) SampleShard(idx int, cols []int, budget int, seed int64) (shard.Summary, error) {
+	src := m.ShardSource()
+	if src == nil {
+		return shard.Summary{}, fmt.Errorf("core: table is not shard-backed")
+	}
+	if idx < 0 || idx >= src.NumShards() {
+		return shard.Summary{}, fmt.Errorf("core: shard %d out of range [0, %d)", idx, src.NumShards())
+	}
+	if !src.ShardAvailable(idx) {
+		return shard.Summary{}, fmt.Errorf("core: shard %d is not held locally", idx)
+	}
+	if budget <= 0 {
+		return shard.Summary{}, fmt.Errorf("core: sample budget must be positive, got %d", budget)
+	}
+	for _, c := range cols {
+		if c < 0 || c >= m.T.NumCols() {
+			return shard.Summary{}, fmt.Errorf("core: column %d out of range [0, %d)", c, m.T.NumCols())
+		}
+	}
+	return shard.Scan(m.B, src.ShardSource(idx), src.ShardStart(idx), cols, budget, seed), nil
+}
+
+// UseShardedStores exports the model's codes into len(paths) shard files
+// (rows split evenly: shard i owns rows [i*n/N, (i+1)*n/N)), opens them
+// as one sharded source, switches the model onto it and releases the
+// inline codes — the sharded analogue of UseCodeStoreFile. All paths must
+// share one directory (the shard map names files relative to it). The
+// returned source is owned by the model for reading; Close it when the
+// model is discarded.
+func (m *Model) UseShardedStores(paths []string, blockRows int) (*shard.Source, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: sharded export needs at least one shard path")
+	}
+	dir := filepath.Dir(paths[0])
+	for _, p := range paths[1:] {
+		if filepath.Dir(p) != dir {
+			return nil, fmt.Errorf("core: shard files must share one directory, got %q and %q", dir, filepath.Dir(p))
+		}
+	}
+	rows := m.T.NumRows()
+	cuts := make([]int, len(paths)+1)
+	for i := range cuts {
+		cuts[i] = i * rows / len(paths)
+	}
+	sink, err := shard.NewSplitSink(paths, cuts, m.T.NumCols(), blockRows)
+	if err != nil {
+		return nil, fmt.Errorf("core: exporting sharded code stores: %w", err)
+	}
+	if err := m.B.ExportCodes(sink, 0); err != nil {
+		sink.Abort()
+		return nil, fmt.Errorf("core: exporting sharded code stores: %w", err)
+	}
+	sm, err := sink.Close()
+	if err != nil {
+		return nil, fmt.Errorf("core: exporting sharded code stores: %w", err)
+	}
+	src, err := shard.Open(dir, sm, m.T.NumCols(), false)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopening sharded code stores: %w", err)
+	}
+	if err := m.AttachCodeStore(src); err != nil {
+		src.Close()
+		return nil, err
+	}
+	if err := m.DropInlineCodes(); err != nil {
+		src.Close()
+		return nil, err
+	}
+	return src, nil
+}
+
+// shardedReservoir is the local scatter/gather form of the stratified
+// reservoir: one goroutine scans each shard, the per-stratum minima and
+// phase-2 heaps merge associatively, and the pick order replays exactly —
+// byte-identical to the single-store scan (see package shard).
+func shardedReservoir(b *binning.Binned, src *shard.Source, cols []int, budget int, seed int64) []int {
+	sums := make([]shard.Summary, src.NumShards())
+	var wg sync.WaitGroup
+	for i := 0; i < src.NumShards(); i++ {
+		if src.ShardRows(i) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sums[i] = shard.Scan(b, src.ShardSource(i), src.ShardStart(i), cols, budget, seed)
+		}(i)
+	}
+	wg.Wait()
+	strata, cands := shard.MergeSummaries(sums, b.NumItems())
+	return shard.FinishSample(strata, cands, budget)
+}

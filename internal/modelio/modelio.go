@@ -35,6 +35,7 @@ import (
 	"subtab/internal/binning"
 	"subtab/internal/codestore"
 	"subtab/internal/core"
+	"subtab/internal/shard"
 	"subtab/internal/table"
 	"subtab/internal/word2vec"
 )
@@ -61,7 +62,13 @@ import (
 // (package codestore), identified by base name and checksum and resolved
 // against the model file's directory at load time; the scale options gain
 // the slab spill budget. Files from versions 1-4 still load unchanged.
-const Version uint16 = 5
+// Version 6 adds a third codes-section variant for sharded models (flag 2):
+// the shard map — per shard, the codestore file's base name, row count,
+// block size and identity checksum — resolved against the model file's
+// directory at load time. With LoadOptions.AllowMissingShards, shard files
+// that do not exist load as a partial source (a coordinator whose shards
+// live on peers). Files from versions 1-5 still load unchanged.
+const Version uint16 = 6
 
 var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
 
@@ -123,10 +130,17 @@ func SaveFile(path string, m *core.Model) error {
 // LoadOptions configures Load for models that reference external state.
 type LoadOptions struct {
 	// CodeStoreDir is the directory external code-store references (v5
-	// models saved out-of-core) are resolved against. Empty means external
-	// references fail with a descriptive error; LoadFile fills it with the
-	// model file's own directory.
+	// models saved out-of-core) and shard maps (v6 sharded models) are
+	// resolved against. Empty means external references fail with a
+	// descriptive error; LoadFile fills it with the model file's own
+	// directory.
 	CodeStoreDir string
+	// AllowMissingShards loads a sharded model whose shard files are partly
+	// absent as a partial source (every present shard still validates
+	// against the map). The selection path then requires an installed
+	// scatter/gather sampler — this is the coordinator mode of a
+	// multi-server sharded table.
+	AllowMissingShards bool
 }
 
 // Load reads a model previously written by Save. Models that reference an
@@ -162,7 +176,7 @@ func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 	}
 	opt := readOptions(d, v)
 	t := readTable(d)
-	cols, codes, ref := readBinnedParts(d, t, v)
+	cols, codes, ref, smap := readBinnedParts(d, t, v)
 	emb := readEmbedding(d)
 	aff := readAffinity(d, t)
 	var counts [][]int64
@@ -186,15 +200,31 @@ func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 	}
 	// Assemble the binned representation only after the model file itself
 	// verified: inline codes restore directly; an external reference opens
-	// the code store next to the model and checks its identity checksum.
+	// the code store next to the model and checks its identity checksum; a
+	// shard map opens every shard the same way (or, with AllowMissingShards,
+	// the shards that are here).
 	var b *binning.Binned
-	if ref == nil {
+	switch {
+	case smap != nil:
+		if lopt.CodeStoreDir == "" {
+			return nil, fmt.Errorf("modelio: model references a %d-shard code store; load with LoadFile or LoadWith{CodeStoreDir}", len(smap.Shards))
+		}
+		src, err := shard.Open(lopt.CodeStoreDir, smap, t.NumCols(), lopt.AllowMissingShards)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: opening sharded code store: %w", err)
+		}
+		b, err = binning.RestoreWithStore(t, cols, src)
+		if err != nil {
+			src.Close()
+			return nil, fmt.Errorf("%w: attaching sharded code store: %v", ErrCorrupt, err)
+		}
+	case ref == nil:
 		var err error
 		b, err = binning.Restore(t, cols, codes)
 		if err != nil {
 			return nil, fmt.Errorf("%w: rebuilding binned representation: %v", ErrCorrupt, err)
 		}
-	} else {
+	default:
 		if lopt.CodeStoreDir == "" {
 			return nil, fmt.Errorf("modelio: model references external code store %q; load with LoadFile or LoadWith{CodeStoreDir}", ref.file)
 		}
@@ -231,12 +261,21 @@ func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 // LoadFile reads a model from path. External code-store references are
 // resolved against the model file's directory.
 func LoadFile(path string) (*core.Model, error) {
+	return LoadFileWith(path, LoadOptions{})
+}
+
+// LoadFileWith reads a model from path with explicit load options; an
+// empty CodeStoreDir is filled with the model file's own directory.
+func LoadFileWith(path string, lopt LoadOptions) (*core.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadWith(f, LoadOptions{CodeStoreDir: filepath.Dir(path)})
+	if lopt.CodeStoreDir == "" {
+		lopt.CodeStoreDir = filepath.Dir(path)
+	}
+	return LoadWith(f, lopt)
 }
 
 // ---------------------------------------------------------------------------
@@ -422,6 +461,23 @@ func writeBinned(e *encoder, b *binning.Binned) error {
 		}
 		return nil
 	}
+	if src, ok := b.Source().(*shard.Source); ok {
+		descs := src.ShardDescs()
+		for i, d := range descs {
+			if d.File == "" {
+				return fmt.Errorf("modelio: sharded model's shard %d has no file identity; only stores opened from a shard map can be saved", i)
+			}
+		}
+		e.u8(2)
+		e.u32(uint32(len(descs)))
+		for _, d := range descs {
+			e.str(d.File)
+			e.u64(uint64(d.Rows))
+			e.u32(uint32(d.BlockRows))
+			e.u32(d.Checksum)
+		}
+		return nil
+	}
 	ref, ok := b.Source().(interface {
 		Path() string
 		Checksum() uint32
@@ -445,20 +501,21 @@ type storeRef struct {
 }
 
 // readBinnedParts reads the binned section: the per-column binnings plus
-// either the inline codes or an external store reference (never both).
-// Versions <= 4 interleave each column's codes with its metadata; version
-// 5 moves the codes behind the presence flag after all columns.
-func readBinnedParts(d *decoder, t *table.Table, v uint16) ([]binning.ColumnBins, [][]uint16, *storeRef) {
+// exactly one of the inline codes, an external store reference, or (v6) a
+// shard map. Versions <= 4 interleave each column's codes with its
+// metadata; version 5 moves the codes behind the presence flag after all
+// columns; version 6 adds the shard-map variant.
+func readBinnedParts(d *decoder, t *table.Table, v uint16) ([]binning.ColumnBins, [][]uint16, *storeRef, *shard.Map) {
 	if d.err != nil {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	nCols := int(d.u32())
 	if d.err != nil {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	if nCols != t.NumCols() {
 		d.fail("binned representation has %d columns, table has %d", nCols, t.NumCols())
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	nRows := t.NumRows()
 	cols := make([]binning.ColumnBins, nCols)
@@ -469,12 +526,12 @@ func readBinnedParts(d *decoder, t *table.Table, v uint16) ([]binning.ColumnBins
 		cb.Kind = table.Kind(d.u8())
 		nLabels := int(d.u32())
 		if d.err != nil {
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 		if nLabels > 1<<16 {
 			// Bin codes are uint16, so no column can have more bins.
 			d.fail("column %d has %d bin labels", i, nLabels)
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 		cb.Labels = make([]string, nLabels)
 		for j := range cb.Labels {
@@ -493,33 +550,64 @@ func readBinnedParts(d *decoder, t *table.Table, v uint16) ([]binning.ColumnBins
 			codes[i] = d.u16s(nRows)
 		}
 		if d.err != nil {
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 	}
 	if v <= 4 {
-		return cols, codes, nil
+		return cols, codes, nil, nil
 	}
 	switch flag := d.u8(); {
 	case d.err != nil:
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	case flag == 1:
 		for i := 0; i < nCols; i++ {
 			codes[i] = d.u16s(nRows)
 		}
-		return cols, codes, nil
+		return cols, codes, nil, nil
 	case flag == 0:
 		ref := &storeRef{file: d.str(), blockRows: int(d.u32()), checksum: d.u32()}
 		if d.err != nil {
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 		if ref.file == "" || ref.file != filepath.Base(ref.file) {
 			d.fail("invalid external code store reference %q", ref.file)
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
-		return cols, nil, ref
+		return cols, nil, ref, nil
+	case flag == 2 && v >= 6:
+		n := int(d.u32())
+		if d.err != nil {
+			return nil, nil, nil, nil
+		}
+		if n < 0 || n > 1<<20 {
+			d.fail("shard map with %d shards", n)
+			return nil, nil, nil, nil
+		}
+		sm := &shard.Map{Shards: make([]shard.Desc, 0, n)}
+		for i := 0; i < n; i++ {
+			sd := shard.Desc{
+				File:      d.str(),
+				Rows:      int(d.u64()),
+				BlockRows: int(d.u32()),
+				Checksum:  d.u32(),
+			}
+			if d.err != nil {
+				return nil, nil, nil, nil
+			}
+			if sd.File == "" || sd.File != filepath.Base(sd.File) || sd.Rows < 0 || sd.BlockRows <= 0 {
+				d.fail("invalid shard map entry %d (%q, %d rows, %d rows/block)", i, sd.File, sd.Rows, sd.BlockRows)
+				return nil, nil, nil, nil
+			}
+			sm.Shards = append(sm.Shards, sd)
+		}
+		if sm.TotalRows() != nRows {
+			d.fail("shard map holds %d rows, table has %d", sm.TotalRows(), nRows)
+			return nil, nil, nil, nil
+		}
+		return cols, nil, nil, sm
 	default:
 		d.fail("unknown codes-section flag %d", flag)
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 }
 

@@ -1,0 +1,148 @@
+package modelio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"subtab/internal/core"
+	"subtab/internal/word2vec"
+)
+
+// shardedModel builds a model, splits its codes into three shard files
+// under dir and returns it shard-backed.
+func shardedModel(t *testing.T, dir string) *core.Model {
+	t.Helper()
+	opt := core.Default()
+	opt.Embedding = word2vec.Options{Dim: 16, Epochs: 2, Seed: 3, Workers: 1}
+	opt.ClusterSeed = 5
+	opt.Scale = core.ScaleOptions{Threshold: 1, SampleBudget: 150, BatchSize: 64, MaxIter: 40}
+	m, err := core.Preprocess(testTable(t, 400), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, 3)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("mixed.codes.%03d", i))
+	}
+	// 61 rows/block: 400 rows split three ways is block-unaligned everywhere.
+	if _, err := m.UseShardedStores(paths, 61); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardedRoundTrip pins the v6 contract: a sharded model saves as a
+// shard map, reloads against its directory, and selects byte-identically
+// — both the exact path and the scaled scatter/gather path.
+func TestShardedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := shardedModel(t, dir)
+	path := filepath.Join(dir, "mixed.subtab")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := loaded.ShardSource()
+	if src == nil {
+		t.Fatal("loaded model is not shard-backed")
+	}
+	if !src.Complete() || src.NumShards() != 3 {
+		t.Fatalf("loaded source: complete=%v shards=%d", src.Complete(), src.NumShards())
+	}
+	for _, c := range []struct {
+		k, l    int
+		targets []string
+	}{{4, 2, nil}, {8, 4, []string{"cat"}}} {
+		want, err := m.Select(c.k, c.l, c.targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Select(c.k, c.l, c.targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.SourceRows, got.SourceRows) || !reflect.DeepEqual(want.Cols, got.Cols) {
+			t.Fatalf("Select(%d,%d,%v) diverged after sharded reload", c.k, c.l, c.targets)
+		}
+		if want.View.String() != got.View.String() {
+			t.Fatalf("Select(%d,%d,%v) view diverged after sharded reload", c.k, c.l, c.targets)
+		}
+	}
+}
+
+// TestShardedLoadValidation: a missing shard file fails a normal load,
+// loads as a partial coordinator model with AllowMissingShards (which then
+// refuses to select without a sampler), and a corrupted shard file fails
+// either way.
+func TestShardedLoadValidation(t *testing.T) {
+	dir := t.TempDir()
+	m := shardedModel(t, dir)
+	path := filepath.Join(dir, "mixed.subtab")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, "mixed.codes.001")
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("LoadFile succeeded with a missing shard file")
+	}
+	loaded, err := LoadFileWith(path, LoadOptions{AllowMissingShards: true})
+	if err != nil {
+		t.Fatalf("LoadFileWith(AllowMissingShards): %v", err)
+	}
+	src := loaded.ShardSource()
+	if src == nil || src.Complete() {
+		t.Fatal("partial load should yield an incomplete shard source")
+	}
+	if src.ShardAvailable(1) || !src.ShardAvailable(0) || !src.ShardAvailable(2) {
+		t.Fatal("wrong shard availability after partial load")
+	}
+	if _, err := loaded.Select(4, 2, nil); err == nil || !strings.Contains(err.Error(), "sampler") {
+		t.Fatalf("partial model Select = %v, want a no-sampler error", err)
+	}
+
+	// Corruption: write garbage over the shard file — the map's checksum
+	// must reject it even with AllowMissingShards (missing != damaged).
+	if err := os.WriteFile(victim, []byte("not a code store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFileWith(path, LoadOptions{AllowMissingShards: true}); err == nil {
+		t.Fatal("load accepted a corrupted shard file")
+	}
+}
+
+// TestShardedResave: a loaded sharded model round-trips again — the shard
+// map survives a second save/load cycle unchanged.
+func TestShardedResave(t *testing.T) {
+	dir := t.TempDir()
+	m := shardedModel(t, dir)
+	path := filepath.Join(dir, "mixed.subtab")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(dir, "again.subtab")
+	if err := SaveFile(path2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.ShardSource().Map(), m.ShardSource().Map()) {
+		t.Fatal("shard map changed across save/load cycles")
+	}
+}

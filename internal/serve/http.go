@@ -15,6 +15,7 @@ import (
 	"subtab/internal/core"
 	"subtab/internal/query"
 	"subtab/internal/rules"
+	"subtab/internal/shard"
 	"subtab/internal/table"
 )
 
@@ -34,6 +35,7 @@ var maxCSVBody int64 = 1 << 30
 //	POST   /tables/{name}/select    k×l sub-table of the whole table
 //	POST   /tables/{name}/query     k×l sub-table of a query result
 //	GET    /tables/{name}/rules     mined association rules
+//	POST   /shards/{name}/{idx}/sample  shard-exec scan (binary codec)
 //
 // Every response is JSON; errors are {"error": "..."} with a matching
 // status code. A nil logger disables request logging.
@@ -49,6 +51,7 @@ func NewHandler(svc *Service, logger *log.Logger) http.Handler {
 	mux.HandleFunc("POST /tables/{name}/select", h.selectWhole)
 	mux.HandleFunc("POST /tables/{name}/query", h.selectQuery)
 	mux.HandleFunc("GET /tables/{name}/rules", h.rules)
+	mux.HandleFunc("POST /shards/{name}/{idx}/sample", h.shardSample)
 	if logger == nil {
 		return mux
 	}
@@ -158,6 +161,15 @@ func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, "parameter store: want 1/true or 0/false, got %q", v)
 		return
 	}
+	var shards int
+	if v := qp.Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeBadRequest(w, "parameter shards: want a positive integer, got %q", v)
+			return
+		}
+		shards = n
+	}
 	t, err := table.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxCSVBody))
 	if err != nil {
 		writeCSVError(w, err)
@@ -166,12 +178,17 @@ func (h *api) createTable(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	replace := qp.Get("replace") == "1" || qp.Get("replace") == "true"
 	var m *core.Model
-	if toStore {
+	switch {
+	case shards > 0:
+		// Sharded upload: bin codes split into N code store files in the
+		// disk cache, scaled selections scatter across them.
+		m, err = h.svc.AddTableSharded(name, t, opt, shards, replace)
+	case toStore:
 		// Out-of-core upload: bin codes live in a code store file in the
 		// disk cache; the served model keeps only the table, the binnings
 		// and the embedding resident.
 		m, err = h.svc.AddTableOutOfCore(name, t, opt, replace)
-	} else {
+	default:
 		m, err = h.svc.AddTable(name, t, opt, replace)
 	}
 	if err != nil {
@@ -251,6 +268,42 @@ func (h *api) appendRows(w http.ResponseWriter, r *http.Request) {
 		"append":  stats,
 		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// shardSample serves the worker half of scatter/gather selection: the
+// binary shard-exec codec over POST, not JSON — both sides of the wire
+// are subtab-server instances, and the checksummed frame catches
+// truncation that a JSON decode would half-accept.
+func (h *api) shardSample(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	idx, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil || idx < 0 {
+		writeBadRequest(w, "shard index: want a non-negative integer, got %q", r.PathValue("idx"))
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeBadRequest(w, "reading request body: %v", err)
+		return
+	}
+	req, err := shard.UnmarshalSampleRequest(raw)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	resp, err := h.svc.SampleShard(name, idx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(resp.Marshal())
 }
 
 // writeCSVError maps a CSV ingestion failure to a status: an oversized body

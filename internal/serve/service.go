@@ -10,6 +10,7 @@ import (
 	"subtab/internal/core"
 	"subtab/internal/query"
 	"subtab/internal/rules"
+	"subtab/internal/shard"
 	"subtab/internal/table"
 )
 
@@ -73,6 +74,11 @@ type TableInfo struct {
 	// OutOfCore reports that the model's bin codes are served from an
 	// external code store rather than memory.
 	OutOfCore bool `json:"out_of_core,omitempty"`
+	// Shards is the shard count of a sharded table (0 otherwise);
+	// LocalShards counts how many of them this instance holds — fewer
+	// than Shards on a coordinator that samples the rest from peers.
+	Shards      int `json:"shards,omitempty"`
+	LocalShards int `json:"local_shards,omitempty"`
 }
 
 // AddTable pre-processes t and registers it under name. Concurrent AddTable
@@ -151,6 +157,60 @@ func (s *Service) AddTableOutOfCore(name string, t *table.Table, opt *core.Optio
 	return m, nil
 }
 
+// AddTableSharded is AddTableOutOfCore with the code store split into
+// shards: the bin codes export into `shards` codestore files (rows cut
+// evenly), the model serves scaled selections by scattering one goroutine
+// per shard, and a sidecar shard-map file records the layout so Remove
+// can delete every shard and external tooling can address them. The
+// persisted model references the shard map (modelio v6); selections stay
+// bit-identical to the single-store and in-memory paths.
+func (s *Service) AddTableSharded(name string, t *table.Table, opt *core.Options, shards int, replace bool) (*core.Model, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, errors.New("serve: table name must not be empty")
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBadRequest, shards)
+	}
+	paths, err := s.store.ShardPaths(name, shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	nl := s.store.lockName(name)
+	nl.Lock()
+	defer nl.Unlock()
+	if !replace && s.store.Contains(name) {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	o := s.defaults
+	if opt != nil {
+		o = *opt
+	}
+	m, err := core.Preprocess(t, o)
+	if err != nil {
+		return nil, err
+	}
+	src, err := m.UseShardedStores(paths, 0)
+	if err != nil {
+		return nil, err
+	}
+	cleanup := func() {
+		for _, p := range paths {
+			os.Remove(p)
+		}
+		os.Remove(s.store.shardMapPath(name))
+	}
+	if err := shard.WriteFile(s.store.shardMapPath(name), src.Map()); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("serve: writing shard map for %q: %w", name, err)
+	}
+	if err := s.store.putLocked(name, m); err != nil {
+		cleanup()
+		return nil, err
+	}
+	s.invalidateRules(name)
+	return m, nil
+}
+
 // AppendRows ingests rows into the named table via core.Model.Append: the
 // replacement model is built off to the side (bin boundaries, embeddings
 // and caches reused incrementally; full re-preprocess only on drift) and
@@ -169,6 +229,11 @@ func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOpti
 	var stats core.AppendStats
 	changed := false
 	m, err := s.store.Update(name, func(cur *core.Model) (*core.Model, error) {
+		if src := cur.ShardSource(); src != nil && !src.Complete() {
+			// A coordinator does not hold the rows; appends belong on the
+			// instances that own the shards.
+			return nil, fmt.Errorf("%w: table %q has remote shards; append on the shard owners", ErrBadRequest, name)
+		}
 		next, st, err := cur.Append(rows, opt)
 		if err != nil {
 			// Append fails only on request-shaped faults (schema mismatch
@@ -177,7 +242,25 @@ func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOpti
 		}
 		stats = st
 		changed = next != cur
-		if changed && cur.OutOfCore() && !next.OutOfCore() {
+		switch {
+		case changed && cur.ShardSource() != nil && next.ShardSource() == nil:
+			// Sharded tables stay sharded: re-export the successor's codes
+			// into the same shard count and granularity and rewrite the
+			// sidecar map. In-flight selections keep their open mappings of
+			// the replaced shard files.
+			cursrc := cur.ShardSource()
+			paths, perr := s.store.ShardPaths(name, cursrc.NumShards())
+			if perr != nil {
+				return nil, fmt.Errorf("serve: re-exporting shards after append: %w", perr)
+			}
+			nsrc, err := next.UseShardedStores(paths, cursrc.BlockRows())
+			if err != nil {
+				return nil, fmt.Errorf("serve: re-exporting shards after append: %w", err)
+			}
+			if err := shard.WriteFile(s.store.shardMapPath(name), nsrc.Map()); err != nil {
+				return nil, fmt.Errorf("serve: rewriting shard map after append: %w", err)
+			}
+		case changed && cur.OutOfCore() && !next.OutOfCore():
 			csPath, perr := s.store.CodeStorePath(name)
 			if perr != nil {
 				return nil, fmt.Errorf("serve: re-exporting code store after append: %w", perr)
@@ -245,6 +328,14 @@ func (s *Service) info(name string) TableInfo {
 	info.Cols = m.T.NumCols()
 	info.Columns = m.T.ColumnNames()
 	info.OutOfCore = m.OutOfCore()
+	if src := m.ShardSource(); src != nil {
+		info.Shards = src.NumShards()
+		for i := 0; i < src.NumShards(); i++ {
+			if src.ShardAvailable(i) {
+				info.LocalShards++
+			}
+		}
+	}
 	return info
 }
 
@@ -291,6 +382,11 @@ func (s *Service) Rules(name string, opt rules.Options) ([]rules.Rule, *core.Mod
 	m, err := s.store.Get(name)
 	if err != nil {
 		return nil, nil, err
+	}
+	if src := m.ShardSource(); src != nil && !src.Complete() {
+		// Mining walks every code block; a coordinator holding only some
+		// shards cannot do that locally.
+		return nil, nil, fmt.Errorf("%w: table %q has remote shards; mine rules on the shard owners", ErrBadRequest, name)
 	}
 	rs, err := rules.Mine(m.B, opt)
 	if err != nil {

@@ -1,0 +1,324 @@
+package serve
+
+// Shard-exec: the HTTP lift of the scatter/gather selection protocol.
+//
+// A table's code store may be split into shards owned by different
+// subtab-server instances. The instance a client talks to (the
+// coordinator) loads the model with AllowMissingShards, so it holds the
+// table, binnings and embedding but only some (possibly zero) shard
+// files. Scaled selections then scatter one shard.SampleRequest per
+// remote shard to peers (POST /shards/{table}/{idx}/sample), scan local
+// shards in-process, and merge the per-shard summaries associatively —
+// the same merge the single-process fan-out runs, so the selection is
+// bit-identical to a single store holding every row. Each response also
+// carries the candidate rows' codes; the coordinator overlays them as a
+// sparse code source so the rest of the selection never touches a
+// missing shard.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"subtab/internal/binning"
+	"subtab/internal/core"
+	"subtab/internal/shard"
+)
+
+// maxShardRespBytes bounds a peer's sample response (a summary is at most
+// nItems strata plus budget candidates plus their codes; 64 MiB is far
+// beyond any sane configuration and still small enough to read eagerly).
+const maxShardRespBytes = 1 << 26
+
+// SampleShard executes one shard's half of a scatter/gather sample: the
+// worker side of POST /shards/{name}/{idx}/sample. The request's checksum
+// must match the local shard file's identity, so a coordinator and a
+// worker whose stores diverged fail loudly instead of merging skewed
+// minima. The response carries the shard's summary plus the codes of
+// every candidate row, for all table columns.
+func (s *Service) SampleShard(name string, idx int, req *shard.SampleRequest) (*shard.SampleResponse, error) {
+	m, err := s.store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	src := m.ShardSource()
+	if src == nil {
+		return nil, fmt.Errorf("%w: table %q is not sharded", ErrBadRequest, name)
+	}
+	if idx < 0 || idx >= src.NumShards() {
+		return nil, fmt.Errorf("%w: shard %d out of range [0, %d)", ErrBadRequest, idx, src.NumShards())
+	}
+	if !src.ShardAvailable(idx) {
+		return nil, fmt.Errorf("%w: shard %d of %q is not held by this instance", ErrBadRequest, idx, name)
+	}
+	if got, want := req.Checksum, src.Desc(idx).Checksum; got != want {
+		return nil, fmt.Errorf("%w: shard %d of %q: request expects checksum %08x, this store has %08x",
+			ErrBadRequest, idx, name, got, want)
+	}
+	sum, err := m.SampleShard(idx, req.Cols, req.Budget, req.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	rows := sum.CandidateRows()
+	return &shard.SampleResponse{
+		Summary: sum,
+		Rows:    rows,
+		Codes:   gatherShardCodes(src, m.T.NumCols(), rows),
+	}, nil
+}
+
+// gatherShardCodes reads the codes of the given global rows for every
+// table column (col-major, parallel to rows).
+func gatherShardCodes(src *shard.Source, cols int, rows []int64) [][]uint16 {
+	codes := make([][]uint16, cols)
+	for c := range codes {
+		col := make([]uint16, len(rows))
+		for k, r := range rows {
+			col[k] = src.Code(c, int(r))
+		}
+		codes[c] = col
+	}
+	return codes
+}
+
+// ShardPeersOptions configures a coordinator's scatter behaviour.
+type ShardPeersOptions struct {
+	// Peers are the base URLs of the instances holding this table's
+	// shards (e.g. "http://10.0.0.7:8080"). A request for shard i is
+	// first sent to Peers[i%len(Peers)] and rotates through the rest on
+	// retry, so a uniform shard-to-instance assignment needs no explicit
+	// placement map.
+	Peers []string
+	// Timeout bounds each attempt against one peer. Default 30s.
+	Timeout time.Duration
+	// Retries is the number of additional attempts (against rotated
+	// peers) after a failed one. Default 1; negative disables retries.
+	Retries int
+	// Client overrides the HTTP client (tests). Default http.DefaultClient.
+	Client *http.Client
+}
+
+// NewShardSampler builds the coordinator side of the protocol: a
+// core.ShardSampler that samples m's local shards in-process, fetches the
+// remote ones from peers, and merges — install it with
+// m.SetShardSampler. The model must be shard-backed; peers are required
+// only when some shards are not local.
+func NewShardSampler(name string, m *core.Model, opt ShardPeersOptions) (core.ShardSampler, error) {
+	src := m.ShardSource()
+	if src == nil {
+		return nil, fmt.Errorf("serve: table %q is not shard-backed", name)
+	}
+	if !src.Complete() && len(opt.Peers) == 0 {
+		return nil, fmt.Errorf("serve: table %q has remote shards but no peers were given", name)
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	if opt.Retries < 0 {
+		opt.Retries = 0
+	} else if opt.Retries == 0 {
+		opt.Retries = 1
+	}
+	if opt.Client == nil {
+		opt.Client = http.DefaultClient
+	}
+	return &shardSampler{
+		name:  name,
+		m:     m,
+		src:   src,
+		opt:   opt,
+		cache: make(map[string]sampleResult),
+	}, nil
+}
+
+type shardSampler struct {
+	name string
+	m    *core.Model
+	src  *shard.Source
+	opt  ShardPeersOptions
+
+	mu    sync.Mutex
+	cache map[string]sampleResult // per (budget, cols): scatter round trips are the expensive half of a scaled select
+}
+
+type sampleResult struct {
+	rows    []int
+	overlay *shard.SparseSource
+}
+
+// Sample runs one full scatter/gather round: scan or fetch every
+// non-empty shard, merge the summaries, finish the pick order, and
+// overlay the gathered codes. rows is byte-identical to what the
+// single-store stratified reservoir would return.
+func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource, error) {
+	if budget <= 0 {
+		return nil, nil, fmt.Errorf("serve: sample budget must be positive, got %d", budget)
+	}
+	key := fmt.Sprintf("%d|%v", budget, cols)
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return append([]int(nil), r.rows...), r.overlay, nil
+	}
+	s.mu.Unlock()
+
+	seed := s.m.SampleSeed()
+	nCols := s.m.T.NumCols()
+	resps := make([]*shard.SampleResponse, s.src.NumShards())
+	errs := make([]error, s.src.NumShards())
+	var wg sync.WaitGroup
+	for i := 0; i < s.src.NumShards(); i++ {
+		if s.src.ShardRows(i) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if s.src.ShardAvailable(i) {
+				sum := shard.Scan(s.m.B, s.src.ShardSource(i), s.src.ShardStart(i), cols, budget, seed)
+				rows := sum.CandidateRows()
+				resps[i] = &shard.SampleResponse{Summary: sum, Rows: rows, Codes: gatherShardCodes(s.src, nCols, rows)}
+				return
+			}
+			resp, err := s.fetch(i, &shard.SampleRequest{
+				Checksum: s.src.Desc(i).Checksum,
+				Seed:     seed,
+				Budget:   budget,
+				Cols:     cols,
+			})
+			if err == nil {
+				err = validateShardResponse(resp, s.src, i, nCols, s.m.B.NumItems())
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	sums := make([]shard.Summary, len(resps))
+	total := 0
+	for i, r := range resps {
+		if r == nil {
+			continue
+		}
+		sums[i] = r.Summary
+		total += len(r.Rows)
+	}
+	strata, cands := shard.MergeSummaries(sums, s.m.B.NumItems())
+	rows := shard.FinishSample(strata, cands, budget)
+
+	// The overlay holds every candidate any shard surfaced (a superset of
+	// the final sample); shard ranges are disjoint, so rows cannot repeat.
+	allRows := make([]int64, 0, total)
+	allCodes := make([][]uint16, nCols)
+	for c := range allCodes {
+		allCodes[c] = make([]uint16, 0, total)
+	}
+	for _, r := range resps {
+		if r == nil {
+			continue
+		}
+		allRows = append(allRows, r.Rows...)
+		for c := range allCodes {
+			allCodes[c] = append(allCodes[c], r.Codes[c]...)
+		}
+	}
+	overlay, err := shard.NewSparseSource(s.m.T.NumRows(), nCols, allRows, allCodes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: assembling sampled overlay for %q: %w", s.name, err)
+	}
+
+	s.mu.Lock()
+	if len(s.cache) >= 8 {
+		clear(s.cache)
+	}
+	s.cache[key] = sampleResult{rows: rows, overlay: overlay}
+	s.mu.Unlock()
+	return append([]int(nil), rows...), overlay, nil
+}
+
+// fetch posts the request for shard idx, rotating through peers across
+// attempts.
+func (s *shardSampler) fetch(idx int, req *shard.SampleRequest) (*shard.SampleResponse, error) {
+	body := req.Marshal()
+	var lastErr error
+	for attempt := 0; attempt <= s.opt.Retries; attempt++ {
+		peer := s.opt.Peers[(idx+attempt)%len(s.opt.Peers)]
+		resp, err := s.post(peer, idx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("peer %s: %w", peer, err)
+	}
+	return nil, fmt.Errorf("serve: sampling shard %d of %q: %w", idx, s.name, lastErr)
+}
+
+func (s *shardSampler) post(peer string, idx int, body []byte) (*shard.SampleResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opt.Timeout)
+	defer cancel()
+	u := strings.TrimRight(peer, "/") + "/shards/" + url.PathEscape(s.name) + "/" + strconv.Itoa(idx) + "/sample"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hresp, err := s.opt.Client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", hresp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, maxShardRespBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > maxShardRespBytes {
+		return nil, fmt.Errorf("response exceeds %d bytes", maxShardRespBytes)
+	}
+	return shard.UnmarshalSampleResponse(raw)
+}
+
+// validateShardResponse rejects a peer response that cannot merge safely:
+// rows outside the shard's range, rows disagreeing with its own summary,
+// or geometry that does not match this coordinator's model.
+func validateShardResponse(resp *shard.SampleResponse, src *shard.Source, idx, nCols, nItems int) error {
+	if len(resp.Summary.Strata) != nItems {
+		return fmt.Errorf("serve: shard %d response has %d strata, model has %d items", idx, len(resp.Summary.Strata), nItems)
+	}
+	if len(resp.Codes) != nCols {
+		return fmt.Errorf("serve: shard %d response has %d code columns, table has %d", idx, len(resp.Codes), nCols)
+	}
+	want := resp.Summary.CandidateRows()
+	if len(want) != len(resp.Rows) {
+		return fmt.Errorf("serve: shard %d response carries %d rows for %d candidates", idx, len(resp.Rows), len(want))
+	}
+	lo := int64(src.ShardStart(idx))
+	hi := lo + int64(src.ShardRows(idx))
+	for k, r := range resp.Rows {
+		if r != want[k] {
+			return fmt.Errorf("serve: shard %d response rows disagree with its summary", idx)
+		}
+		if r < lo || r >= hi {
+			return fmt.Errorf("serve: shard %d response row %d outside shard range [%d, %d)", idx, r, lo, hi)
+		}
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 
 	"subtab/internal/core"
 	"subtab/internal/modelio"
+	"subtab/internal/shard"
 )
 
 // ErrNotFound is returned for operations on tables the store does not know.
@@ -46,6 +47,17 @@ type StoreOptions struct {
 	// and serves cache misses from disk before rebuilding. The directory is
 	// created on first use.
 	Dir string
+	// AllowMissingShards loads sharded models whose shard files are partly
+	// absent (a coordinator owning the model but not every shard). Present
+	// shards still validate against the model's shard map; selections on
+	// such a model need a scatter/gather sampler, installed via
+	// PrepareModel.
+	AllowMissingShards bool
+	// PrepareModel, when non-nil, runs on every model served from the disk
+	// cache before it is installed — the hook a coordinator uses to attach
+	// its shard-peer sampler to reloaded sharded models. It must be safe
+	// for concurrent use and must not mutate models already serving.
+	PrepareModel func(name string, m *core.Model) error
 }
 
 // StoreStats are cumulative counters describing cache behavior.
@@ -196,7 +208,7 @@ func (s *Store) commit(name string, m *core.Model, built bool, startGen uint64) 
 // still needs persisting.
 func (s *Store) miss(name string, build func() (*core.Model, error)) (*core.Model, bool, error) {
 	if s.opt.Dir != "" {
-		if m, err := modelio.LoadFile(s.path(name)); err == nil {
+		if m, err := s.loadDisk(name); err == nil {
 			s.diskLoads.Add(1)
 			return m, false, nil
 		}
@@ -212,6 +224,21 @@ func (s *Store) miss(name string, build func() (*core.Model, error)) (*core.Mode
 	}
 	s.builds.Add(1)
 	return m, true, nil
+}
+
+// loadDisk reads name's persisted model, honouring the store's shard
+// policy and running the PrepareModel hook before anyone can see it.
+func (s *Store) loadDisk(name string) (*core.Model, error) {
+	m, err := modelio.LoadFileWith(s.path(name), modelio.LoadOptions{AllowMissingShards: s.opt.AllowMissingShards})
+	if err != nil {
+		return nil, err
+	}
+	if s.opt.PrepareModel != nil {
+		if err := s.opt.PrepareModel(name, m); err != nil {
+			return nil, fmt.Errorf("serve: preparing model %q: %w", name, err)
+		}
+	}
+	return m, nil
 }
 
 // Put caches (and persists) a ready-made model under name, replacing any
@@ -261,7 +288,7 @@ func (s *Store) Update(name string, fn func(*core.Model) (*core.Model, error)) (
 	}
 	s.mu.Unlock()
 	if cur == nil && s.opt.Dir != "" {
-		if m, err := modelio.LoadFile(s.path(name)); err == nil {
+		if m, err := s.loadDisk(name); err == nil {
 			s.diskLoads.Add(1)
 			cur = m
 		}
@@ -324,7 +351,9 @@ func (s *Store) Contains(name string) bool {
 
 // Remove drops name from memory and disk, and invalidates any in-flight
 // build of the name so its result is not resurrected. Removing an unknown
-// name is a no-op.
+// name is a no-op. Sharded tables drop every shard file their shard map
+// references (plus the map itself), not just the single-store path — a
+// table's disk footprint is whatever its map says it is.
 func (s *Store) Remove(name string) {
 	nl := s.lockName(name)
 	nl.Lock()
@@ -337,6 +366,12 @@ func (s *Store) Remove(name string) {
 	}
 	s.mu.Unlock()
 	if s.opt.Dir != "" {
+		if sm, err := shard.ReadFile(s.shardMapPath(name)); err == nil {
+			for _, d := range sm.Shards {
+				os.Remove(filepath.Join(s.opt.Dir, d.File))
+			}
+		}
+		os.Remove(s.shardMapPath(name))
 		os.Remove(s.path(name))
 		os.Remove(s.path(name) + codesExt)
 	}
@@ -406,10 +441,13 @@ func (s *Store) insertLocked(name string, m *core.Model) {
 }
 
 // modelExt is the on-disk model file suffix; codesExt is appended to the
-// model path for a table's external code store (out-of-core selection).
+// model path for a table's external code store (out-of-core selection);
+// shardsExt is appended to the model path for a sharded table's sidecar
+// shard map (the file Remove consults to delete every shard).
 const (
-	modelExt = ".subtab"
-	codesExt = ".codes"
+	modelExt  = ".subtab"
+	codesExt  = ".codes"
+	shardsExt = ".shards"
 )
 
 // CodeStorePath returns the disk-cache path of name's external code store
@@ -424,6 +462,26 @@ func (s *Store) CodeStorePath(name string) (string, error) {
 		return "", err
 	}
 	return s.path(name) + codesExt, nil
+}
+
+// ShardPaths returns the disk-cache paths of name's n shard files
+// (".codes.000", ".codes.001", ...), creating the cache directory like
+// CodeStorePath. Requires a disk-backed store.
+func (s *Store) ShardPaths(name string, n int) ([]string, error) {
+	base, err := s.CodeStorePath(name)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s.%03d", base, i)
+	}
+	return paths, nil
+}
+
+// shardMapPath is the sidecar shard-map file for a sharded table.
+func (s *Store) shardMapPath(name string) string {
+	return s.path(name) + shardsExt
 }
 
 // path maps a table name to its cache file. Names are hex-encoded so

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"sort"
+
+	"subtab/internal/binning"
+)
+
+// The scatter/gather sampler protocol. core's stratified min-hash
+// reservoir has two phases, and both are associative merges over
+// per-row (hash, row) pairs:
+//
+//   - Phase 1 keeps, per (column, bin) stratum, the candidate row with
+//     the smallest hash (ties to the lower row id). A per-shard minimum
+//     over the shard's row range merges with other shards' minima by the
+//     same comparison — min is associative and commutative, so any
+//     grouping of rows into shards yields the global minima.
+//   - Phase 2 fills the remaining budget with the globally smallest
+//     (hash, row) pairs among rows phase 1 did not pick. A shard cannot
+//     know the global picked set, so it reports its budget smallest pairs
+//     unfiltered. That is always enough: a row among the global
+//     rem-smallest unpicked has fewer than picked + rem <= budget
+//     shard-local rows ahead of it in (hash, row) order, so it sits
+//     within its shard's top budget.
+//
+// Scan produces the per-shard Summary, MergeStrata folds phase-1 minima,
+// and FinishSample replays core's exact pick order over the merged state
+// — byte-identical to a single full-table scan, which the property sweep
+// in core and the golden never-recording tests pin.
+
+// StratumMin is the phase-1 state of one stratum: the minimal (hash, row)
+// pair seen, or Row == -1 when the stratum is empty so far.
+type StratumMin struct {
+	Row  int64
+	Hash uint64
+}
+
+// HashRow is one phase-2 candidate: a (hash, row) pair ordered
+// lexicographically.
+type HashRow struct {
+	Hash uint64
+	Row  int64
+}
+
+// Summary is one shard's contribution to a scatter/gather sample. Strata
+// is indexed by global item id; Cand holds the shard's budget smallest
+// (hash, row) pairs in ascending order. Rows are global ids throughout.
+type Summary struct {
+	Strata []StratumMin
+	Cand   []HashRow
+}
+
+// RowHash maps (seed, global row) to a uniform 64-bit rank with a
+// splitmix64-style finalizer. It is the one hash both sampler phases rank
+// rows by — core.sampleHash delegates here, so shard-local scans and
+// whole-table scans are rank-identical by construction.
+func RowHash(seed int64, row int64) uint64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(row)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// EmptyStrata returns the identity element of the strata merge: numItems
+// empty minima.
+func EmptyStrata(numItems int) []StratumMin {
+	strata := make([]StratumMin, numItems)
+	for i := range strata {
+		strata[i].Row = -1
+	}
+	return strata
+}
+
+// Scan computes one shard's Summary: cs holds the shard's rows (local ids
+// 0..NumRows-1, global ids offset by start), b supplies the item-id space
+// (stratum s of column c's code v is b.ItemOf(c, 0)+v), and budget bounds
+// the phase-2 candidate list. The scan streams cs block by block, exactly
+// like core's single-store scan restricted to this row range.
+func Scan(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budget int, seed int64) Summary {
+	strata := EmptyStrata(b.NumItems())
+	n := 0
+	if cs != nil {
+		n = cs.NumRows()
+	}
+	if n == 0 {
+		return Summary{Strata: strata}
+	}
+	rowH := make([]uint64, n)
+	for i := range rowH {
+		rowH[i] = RowHash(seed, int64(start+i))
+	}
+	var scratch []uint16
+	br := cs.BlockRows()
+	for _, c := range cols {
+		base := b.ItemOf(c, 0)
+		for blk := 0; blk < cs.NumBlocks(); blk++ {
+			codes := cs.ColumnBlock(c, blk, scratch)
+			scratch = codes
+			off := blk * br
+			for i, code := range codes {
+				s := base + int32(code)
+				r := int64(start + off + i)
+				h := rowH[off+i]
+				if strata[s].Row < 0 || h < strata[s].Hash || (h == strata[s].Hash && r < strata[s].Row) {
+					strata[s] = StratumMin{Row: r, Hash: h}
+				}
+			}
+		}
+	}
+
+	// Phase-2 candidates: the shard's budget smallest (hash, row) pairs,
+	// via the same bounded max-heap core uses (no full sort of the shard).
+	rem := min(budget, n)
+	heap := make([]HashRow, 0, rem)
+	greater := func(a, b HashRow) bool {
+		if a.Hash != b.Hash {
+			return a.Hash > b.Hash
+		}
+		return a.Row > b.Row
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && greater(heap[l], heap[big]) {
+				big = l
+			}
+			if r < len(heap) && greater(heap[r], heap[big]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	for i := 0; i < n; i++ {
+		hr := HashRow{Hash: rowH[i], Row: int64(start + i)}
+		if len(heap) < rem {
+			heap = append(heap, hr)
+			for j := len(heap) - 1; j > 0; {
+				p := (j - 1) / 2
+				if !greater(heap[j], heap[p]) {
+					break
+				}
+				heap[j], heap[p] = heap[p], heap[j]
+				j = p
+			}
+			continue
+		}
+		if greater(hr, heap[0]) {
+			continue
+		}
+		heap[0] = hr
+		siftDown(0)
+	}
+	sort.Slice(heap, func(i, j int) bool { return greater(heap[j], heap[i]) })
+	return Summary{Strata: strata, Cand: heap}
+}
+
+// MergeStrata folds src's phase-1 minima into dst element-wise with the
+// sampler's (hash, row) comparison. The merge is associative and
+// commutative, so shard order cannot change the result.
+func MergeStrata(dst, src []StratumMin) {
+	for s := range dst {
+		o := src[s]
+		if o.Row < 0 {
+			continue
+		}
+		if dst[s].Row < 0 || o.Hash < dst[s].Hash || (o.Hash == dst[s].Hash && o.Row < dst[s].Row) {
+			dst[s] = o
+		}
+	}
+}
+
+// MergeSummaries folds per-shard summaries (zero-value entries — skipped
+// shards — are ignored) into one merged strata array plus the
+// concatenated candidate list, ready for FinishSample.
+func MergeSummaries(sums []Summary, numItems int) ([]StratumMin, []HashRow) {
+	strata := EmptyStrata(numItems)
+	var cands []HashRow
+	for _, sum := range sums {
+		if sum.Strata == nil {
+			continue
+		}
+		MergeStrata(strata, sum.Strata)
+		cands = append(cands, sum.Cand...)
+	}
+	return strata, cands
+}
+
+// CandidateRows returns the sorted, duplicate-free global rows a summary
+// references (stratum minima plus phase-2 candidates) — the rows whose
+// codes a shard ships back so the coordinator can finish the selection
+// without another round trip.
+func (s Summary) CandidateRows() []int64 {
+	seen := make(map[int64]bool, len(s.Cand)+len(s.Strata))
+	out := make([]int64, 0, len(s.Cand)+len(s.Strata))
+	for _, sm := range s.Strata {
+		if sm.Row >= 0 && !seen[sm.Row] {
+			seen[sm.Row] = true
+			out = append(out, sm.Row)
+		}
+	}
+	for _, hr := range s.Cand {
+		if !seen[hr.Row] {
+			seen[hr.Row] = true
+			out = append(out, hr.Row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FinishSample replays core's pick order over merged scatter state:
+// phase 1 serves strata in ascending item order (skipping empties and
+// rows already picked) up to budget, then phase 2 spends the remainder on
+// the smallest unpicked (hash, row) candidates. The result is sorted
+// ascending — byte-identical to the single-scan sampler's output.
+func FinishSample(strata []StratumMin, cands []HashRow, budget int) []int {
+	picked := make(map[int64]bool, budget)
+	sample := make([]int, 0, budget)
+	for s := range strata {
+		if len(sample) >= budget {
+			break
+		}
+		r := strata[s].Row
+		if r < 0 || picked[r] {
+			continue
+		}
+		picked[r] = true
+		sample = append(sample, int(r))
+	}
+	if rem := budget - len(sample); rem > 0 {
+		rest := make([]HashRow, 0, len(cands))
+		for _, hr := range cands {
+			if !picked[hr.Row] {
+				rest = append(rest, hr)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].Hash != rest[j].Hash {
+				return rest[i].Hash < rest[j].Hash
+			}
+			return rest[i].Row < rest[j].Row
+		})
+		if len(rest) > rem {
+			rest = rest[:rem]
+		}
+		for _, hr := range rest {
+			sample = append(sample, int(hr.Row))
+		}
+	}
+	sort.Ints(sample)
+	return sample
+}

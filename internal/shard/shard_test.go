@@ -1,0 +1,536 @@
+package shard
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"subtab/internal/binning"
+	"subtab/internal/codestore"
+)
+
+// memSource is an in-memory CodeSource with a configurable block size, for
+// exercising the virtual-block assembly without files.
+type memSource struct {
+	codes     [][]uint16 // [col][row]
+	blockRows int
+}
+
+func (s *memSource) NumRows() int {
+	if len(s.codes) == 0 {
+		return 0
+	}
+	return len(s.codes[0])
+}
+func (s *memSource) NumCols() int   { return len(s.codes) }
+func (s *memSource) BlockRows() int { return s.blockRows }
+func (s *memSource) NumBlocks() int {
+	return (s.NumRows() + s.blockRows - 1) / s.blockRows
+}
+func (s *memSource) ColumnBlock(c, blk int, scratch []uint16) []uint16 {
+	lo := blk * s.blockRows
+	hi := min(lo+s.blockRows, s.NumRows())
+	return s.codes[c][lo:hi]
+}
+func (s *memSource) Code(c, r int) uint16 { return s.codes[c][r] }
+
+func randCodes(rng *rand.Rand, cols, rows, bins int) [][]uint16 {
+	codes := make([][]uint16, cols)
+	for c := range codes {
+		codes[c] = make([]uint16, rows)
+		for r := range codes[c] {
+			codes[c][r] = uint16(rng.Intn(bins))
+		}
+	}
+	return codes
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	m := &Map{Shards: []Desc{
+		{File: "t.codes.000", Rows: 100, BlockRows: 64, Checksum: 0xdeadbeef},
+		{File: "t.codes.001", Rows: 0, BlockRows: 64, Checksum: 0},
+		{File: "t.codes.002", Rows: 41, BlockRows: 64, Checksum: 7},
+	}}
+	path := filepath.Join(t.TempDir(), "t.shards")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	if got.TotalRows() != 141 {
+		t.Fatalf("TotalRows = %d, want 141", got.TotalRows())
+	}
+	if want := []int{0, 100, 100, 141}; !reflect.DeepEqual(got.Starts(), want) {
+		t.Fatalf("Starts = %v, want %v", got.Starts(), want)
+	}
+}
+
+func TestMapRejectsBadNames(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.shards")
+	for _, bad := range []Desc{
+		{File: "", Rows: 1, BlockRows: 1},
+		{File: "sub/dir.codes", Rows: 1, BlockRows: 1},
+		{File: "ok.codes", Rows: -1, BlockRows: 1},
+		{File: "ok.codes", Rows: 1, BlockRows: 0},
+	} {
+		if err := WriteFile(path, &Map{Shards: []Desc{bad}}); err == nil {
+			t.Errorf("WriteFile accepted invalid descriptor %+v", bad)
+		}
+	}
+}
+
+func TestMapCorruption(t *testing.T) {
+	m := &Map{Shards: []Desc{{File: "a.codes", Rows: 5, BlockRows: 4, Checksum: 9}}}
+	path := filepath.Join(t.TempDir(), "t.shards")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, mutate func([]byte) []byte) {
+		buf := mutate(append([]byte(nil), raw...))
+		if _, err := decodeMap(buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt map", name)
+		}
+	}
+	check("truncated", func(b []byte) []byte { return b[:len(b)-9] })
+	check("short", func(b []byte) []byte { return b[:10] })
+	check("bit flip body", func(b []byte) []byte { b[20] ^= 0x40; return b })
+	check("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	check("bad end magic", func(b []byte) []byte { b[len(b)-1] = 'X'; return b })
+	// A flipped version byte must fail (CRC covers it), and a consistently
+	// re-checksummed future version must fail on the version check.
+	check("future version", func(b []byte) []byte {
+		b[8] = 0xff
+		return regenCRC(b)
+	})
+	// Trailing-bytes case: extra entry bytes inside a re-checksummed body.
+	body := append([]byte(nil), raw[:len(raw)-12]...)
+	body = append(body, 1, 2, 3)
+	if _, err := decodeMap(regenTail(body)); err == nil {
+		t.Error("decode accepted map with trailing body bytes")
+	}
+}
+
+// regenTail appends a fresh CRC and end magic to body.
+func regenTail(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	out = append(out,
+		byte(crcOf(body)), byte(crcOf(body)>>8), byte(crcOf(body)>>16), byte(crcOf(body)>>24))
+	return append(out, mapEndMagic[:]...)
+}
+
+// regenCRC recomputes the trailing CRC of a full map buffer in place.
+func regenCRC(b []byte) []byte {
+	body := b[: len(b)-12 : len(b)-12]
+	c := crcOf(body)
+	b[len(b)-12] = byte(c)
+	b[len(b)-11] = byte(c >> 8)
+	b[len(b)-10] = byte(c >> 16)
+	b[len(b)-9] = byte(c >> 24)
+	return b
+}
+
+func crcOf(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+func TestSplitSinkGeometry(t *testing.T) {
+	// 100 rows, 3 cols, cuts at 0/33/33/90/100: an empty shard and
+	// block-unaligned boundaries (blockRows 16).
+	const rows, cols = 100, 3
+	rng := rand.New(rand.NewSource(1))
+	codes := randCodes(rng, cols, rows, 40)
+
+	dir := t.TempDir()
+	paths := make([]string, 4)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, "t.codes.00"+string(rune('0'+i)))
+	}
+	cuts := []int{0, 33, 33, 90, rows}
+	sink, err := NewSplitSink(paths, cuts, cols, 16)
+	if err != nil {
+		t.Fatalf("NewSplitSink: %v", err)
+	}
+	// Feed in awkward chunk sizes that straddle the cuts.
+	chunk := make([][]uint16, cols)
+	for off := 0; off < rows; {
+		n := min(29, rows-off)
+		for c := range chunk {
+			chunk[c] = codes[c][off : off+n]
+		}
+		if err := sink.AppendColumns(chunk); err != nil {
+			t.Fatalf("AppendColumns at %d: %v", off, err)
+		}
+		off += n
+	}
+	m, err := sink.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wantRows := []int{33, 0, 57, 10}
+	if len(m.Shards) != 4 {
+		t.Fatalf("map has %d shards, want 4", len(m.Shards))
+	}
+	for i, d := range m.Shards {
+		if d.Rows != wantRows[i] {
+			t.Fatalf("shard %d has %d rows, want %d", i, d.Rows, wantRows[i])
+		}
+		if d.File != filepath.Base(paths[i]) {
+			t.Fatalf("shard %d file %q, want %q", i, d.File, filepath.Base(paths[i]))
+		}
+	}
+
+	src, err := Open(dir, m, cols, false)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer src.Close()
+	if !src.Complete() {
+		t.Fatal("source should be complete")
+	}
+	if src.NumRows() != rows || src.NumCols() != cols {
+		t.Fatalf("source is %dx%d, want %dx%d", src.NumRows(), src.NumCols(), rows, cols)
+	}
+	// Every cell must read back identically, via Code and via ColumnBlock.
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if got := src.Code(c, r); got != codes[c][r] {
+				t.Fatalf("Code(%d, %d) = %d, want %d", c, r, got, codes[c][r])
+			}
+		}
+		var scratch []uint16
+		r := 0
+		for blk := 0; blk < src.NumBlocks(); blk++ {
+			got := src.ColumnBlock(c, blk, scratch)
+			scratch = got
+			for _, v := range got {
+				if v != codes[c][r] {
+					t.Fatalf("col %d row %d via block %d: got %d, want %d", c, r, blk, v, codes[c][r])
+				}
+				r++
+			}
+		}
+		if r != rows {
+			t.Fatalf("col %d blocks covered %d rows, want %d", c, r, rows)
+		}
+	}
+
+	// The map round-trips through its file codec and reopens.
+	mapPath := filepath.Join(dir, "t.shards")
+	if err := WriteFile(mapPath, m); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	m2, err := ReadFile(mapPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	src2, err := Open(dir, m2, cols, false)
+	if err != nil {
+		t.Fatalf("reopen from read map: %v", err)
+	}
+	src2.Close()
+}
+
+func TestSplitSinkZeroRows(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "z.codes.000"), filepath.Join(dir, "z.codes.001")}
+	sink, err := NewSplitSink(paths, []int{0, 0, 0}, 2, 8)
+	if err != nil {
+		t.Fatalf("NewSplitSink: %v", err)
+	}
+	if err := sink.AppendColumns([][]uint16{nil, nil}); err != nil {
+		t.Fatalf("AppendColumns: %v", err)
+	}
+	m, err := sink.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	src, err := Open(dir, m, 2, false)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer src.Close()
+	if src.NumRows() != 0 || src.NumCols() != 2 || src.NumBlocks() != 0 {
+		t.Fatalf("zero-row source: %d rows, %d cols, %d blocks", src.NumRows(), src.NumCols(), src.NumBlocks())
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.codes.000")
+	sink, err := NewSplitSink([]string{path}, []int{0, 10}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := [][]uint16{make([]uint16, 10), make([]uint16, 10)}
+	if err := sink.AppendColumns(chunk); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sink.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := &Map{Shards: []Desc{m.Shards[0]}}
+	bad.Shards[0].Checksum ^= 1
+	if _, err := Open(dir, bad, 2, false); err == nil {
+		t.Error("Open accepted a checksum mismatch")
+	}
+	bad = &Map{Shards: []Desc{m.Shards[0]}}
+	bad.Shards[0].Rows = 11
+	if _, err := Open(dir, bad, 2, false); err == nil {
+		t.Error("Open accepted a row-count mismatch")
+	}
+	if _, err := Open(dir, m, 3, false); err == nil {
+		t.Error("Open accepted a column-count mismatch")
+	}
+
+	missing := &Map{Shards: []Desc{m.Shards[0], {File: "gone.codes", Rows: 5, BlockRows: 4, Checksum: 1}}}
+	if _, err := Open(dir, missing, 2, false); err == nil {
+		t.Error("Open without allowMissing accepted a missing shard file")
+	}
+	src, err := Open(dir, missing, 2, true)
+	if err != nil {
+		t.Fatalf("Open with allowMissing: %v", err)
+	}
+	defer src.Close()
+	if src.Complete() {
+		t.Error("partial source claims to be complete")
+	}
+	if !src.ShardAvailable(0) || src.ShardAvailable(1) {
+		t.Error("shard availability wrong")
+	}
+	// Blocks fully inside shard 0 are available; the boundary block is not.
+	if !src.BlockAvailable(0) {
+		t.Error("block 0 should be available (rows 0-3 are local)")
+	}
+	if src.BlockAvailable(2) {
+		t.Error("block 2 spans the missing shard and should be unavailable")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Code on a missing shard did not panic")
+			}
+		}()
+		src.Code(0, 12)
+	}()
+}
+
+func TestSourceVirtualBlocks(t *testing.T) {
+	// Shards with heterogeneous internal block sizes still present uniform
+	// virtual blocks (the first shard's granularity).
+	rng := rand.New(rand.NewSource(7))
+	codes := randCodes(rng, 2, 57, 100)
+	split := []int{0, 13, 13, 40, 57}
+	var srcs []binning.CodeSource
+	var counts []int
+	for i := 0; i+1 < len(split); i++ {
+		lo, hi := split[i], split[i+1]
+		sub := make([][]uint16, 2)
+		for c := range sub {
+			sub[c] = codes[c][lo:hi]
+		}
+		srcs = append(srcs, &memSource{codes: sub, blockRows: 5 + i})
+		counts = append(counts, hi-lo)
+	}
+	src, err := NewSource(srcs, counts, 2)
+	if err != nil {
+		t.Fatalf("NewSource: %v", err)
+	}
+	if src.BlockRows() != 5 {
+		t.Fatalf("virtual BlockRows = %d, want 5", src.BlockRows())
+	}
+	for c := 0; c < 2; c++ {
+		r := 0
+		var scratch []uint16
+		for blk := 0; blk < src.NumBlocks(); blk++ {
+			got := src.ColumnBlock(c, blk, scratch)
+			scratch = got
+			for _, v := range got {
+				if v != codes[c][r] {
+					t.Fatalf("col %d row %d: got %d, want %d", c, r, v, codes[c][r])
+				}
+				r++
+			}
+		}
+		if r != 57 {
+			t.Fatalf("col %d covered %d rows, want 57", c, r)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	req := &SampleRequest{Checksum: 0xabad1dea, Seed: -42, Budget: 256, Cols: []int{0, 3, 7}}
+	gotReq, err := UnmarshalSampleRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("request round trip: %v", err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("request mismatch:\n got %+v\nwant %+v", gotReq, req)
+	}
+
+	resp := &SampleResponse{
+		Summary: Summary{
+			Strata: []StratumMin{{Row: -1}, {Row: 5, Hash: 99}, {Row: 1 << 40, Hash: ^uint64(0)}},
+			Cand:   []HashRow{{Hash: 3, Row: 12}, {Hash: 3, Row: 14}},
+		},
+		Rows:  []int64{5, 12, 14, 1 << 40},
+		Codes: [][]uint16{{1, 2, 3, 4}, {9, 8, 7, 6}},
+	}
+	gotResp, err := UnmarshalSampleResponse(resp.Marshal())
+	if err != nil {
+		t.Fatalf("response round trip: %v", err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("response mismatch:\n got %+v\nwant %+v", gotResp, resp)
+	}
+
+	// Empty response (a zero-row shard) round-trips too, modulo nil vs
+	// empty slices.
+	empty := &SampleResponse{Summary: Summary{Strata: []StratumMin{}}}
+	gotEmpty, err := UnmarshalSampleResponse(empty.Marshal())
+	if err != nil {
+		t.Fatalf("empty response round trip: %v", err)
+	}
+	if len(gotEmpty.Summary.Strata) != 0 || len(gotEmpty.Rows) != 0 {
+		t.Fatalf("empty response decoded as %+v", gotEmpty)
+	}
+}
+
+func TestWireCorruption(t *testing.T) {
+	req := &SampleRequest{Checksum: 1, Seed: 2, Budget: 3, Cols: []int{4}}
+	raw := req.Marshal()
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bit flip":  func(b []byte) []byte { b[9] ^= 1; return b },
+		"magic":     func(b []byte) []byte { b[0] = 'x'; return b },
+		"short":     func(b []byte) []byte { return b[:5] },
+	} {
+		buf := mutate(append([]byte(nil), raw...))
+		if _, err := UnmarshalSampleRequest(buf); err == nil {
+			t.Errorf("%s: request decode accepted corrupt frame", name)
+		}
+	}
+	resp := &SampleResponse{Summary: Summary{Strata: []StratumMin{{Row: 1, Hash: 2}}}}
+	rraw := resp.Marshal()
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)-1] },
+		"bit flip":  func(b []byte) []byte { b[12] ^= 8; return b },
+		"swapped":   func(b []byte) []byte { return append(b[:0:0], req.Marshal()...) },
+	} {
+		buf := mutate(append([]byte(nil), rraw...))
+		if _, err := UnmarshalSampleResponse(buf); err == nil {
+			t.Errorf("%s: response decode accepted corrupt frame", name)
+		}
+	}
+}
+
+func TestMergeStrataAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func() []StratumMin {
+		s := EmptyStrata(16)
+		for i := range s {
+			if rng.Intn(3) == 0 {
+				continue // leave empty
+			}
+			s[i] = StratumMin{Row: int64(rng.Intn(1000)), Hash: uint64(rng.Intn(8))} // small hash domain forces ties
+		}
+		return s
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := mk(), mk(), mk()
+		// (a ⊕ b) ⊕ c
+		left := append([]StratumMin(nil), a...)
+		MergeStrata(left, b)
+		MergeStrata(left, c)
+		// a ⊕ (b ⊕ c)
+		bc := append([]StratumMin(nil), b...)
+		MergeStrata(bc, c)
+		right := append([]StratumMin(nil), a...)
+		MergeStrata(right, bc)
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative\n left %v\nright %v", trial, left, right)
+		}
+		// Commutative too.
+		ba := append([]StratumMin(nil), b...)
+		MergeStrata(ba, a)
+		ab := append([]StratumMin(nil), a...)
+		MergeStrata(ab, b)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+	}
+}
+
+func TestCandidateRows(t *testing.T) {
+	s := Summary{
+		Strata: []StratumMin{{Row: 7, Hash: 1}, {Row: -1}, {Row: 2, Hash: 3}},
+		Cand:   []HashRow{{Hash: 1, Row: 7}, {Hash: 2, Row: 9}},
+	}
+	if got, want := s.CandidateRows(), []int64{2, 7, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("CandidateRows = %v, want %v", got, want)
+	}
+}
+
+func TestSparseSource(t *testing.T) {
+	src, err := NewSparseSource(100, 2, []int64{5, 50, 99}, [][]uint16{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatalf("NewSparseSource: %v", err)
+	}
+	if src.NumRows() != 100 || src.NumCols() != 2 || src.BlockRows() != 1 || src.NumBlocks() != 100 {
+		t.Fatal("sparse source geometry wrong")
+	}
+	if !src.Covers(50) || src.Covers(51) {
+		t.Fatal("Covers wrong")
+	}
+	if src.Code(1, 50) != 5 {
+		t.Fatalf("Code(1, 50) = %d, want 5", src.Code(1, 50))
+	}
+	if got := src.ColumnBlock(0, 99, nil); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("ColumnBlock(0, 99) = %v, want [3]", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Code on an uncovered row did not panic")
+			}
+		}()
+		src.Code(0, 51)
+	}()
+	if _, err := NewSparseSource(10, 1, []int64{3, 3}, [][]uint16{{1, 2}}); err == nil {
+		t.Error("NewSparseSource accepted a duplicate row")
+	}
+	if _, err := NewSparseSource(10, 1, []int64{10}, [][]uint16{{1}}); err == nil {
+		t.Error("NewSparseSource accepted an out-of-range row")
+	}
+}
+
+// Keep codestore's default in view: the sink must fall back to it.
+func TestSinkDefaultBlockRows(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "d.codes.000")
+	sink, err := NewSplitSink([]string{p}, []int{0, 3}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.AppendColumns([][]uint16{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sink.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards[0].BlockRows != codestore.DefaultBlockRows {
+		t.Fatalf("BlockRows = %d, want default %d", m.Shards[0].BlockRows, codestore.DefaultBlockRows)
+	}
+}
