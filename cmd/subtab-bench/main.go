@@ -16,7 +16,10 @@
 // over an mmap'd code store, with and without slab spilling, on a table
 // larger than the configured memory budget), "shard" is the sharded
 // scatter/gather set (scaled selection fanned out across 4 shard stores,
-// the number to compare against OOCoreSelect/1M), "all" runs everything.
+// the number to compare against OOCoreSelect/1M), "preprocess" is the
+// cold-path set (the Fig. 9 preprocess plus its stages in isolation —
+// binning+corpus, and embedding training at full parallelism and pinned to
+// one worker), "all" runs everything.
 //
 // -benchtime passes through to the testing harness (e.g. "1x" for a
 // compile-and-crash smoke, "2s" for stabler timings); a benchmark that
@@ -39,11 +42,14 @@ import (
 	"testing"
 
 	"subtab"
+	"subtab/internal/binning"
 	"subtab/internal/cluster"
+	"subtab/internal/corpus"
 	"subtab/internal/datagen"
 	"subtab/internal/f32"
 	"subtab/internal/modelio"
 	"subtab/internal/serve"
+	"subtab/internal/word2vec"
 )
 
 type entry struct {
@@ -112,13 +118,16 @@ func main() {
 		runOOCoreSuite(run)
 	case "shard":
 		runShardSuite(run)
+	case "preprocess":
+		runPreprocessSuite(run)
 	case "all":
 		runCoreSuite(run)
 		runLargeSuite(run)
 		runOOCoreSuite(run)
 		runShardSuite(run)
+		runPreprocessSuite(run)
 	default:
-		log.Fatalf("unknown -suite %q: want core, large, oocore, shard or all", *suite)
+		log.Fatalf("unknown -suite %q: want core, large, oocore, shard, preprocess or all", *suite)
 	}
 
 	merged := map[string]map[string]entry{}
@@ -444,6 +453,60 @@ func runShardSuite(run func(name string, fn func(b *testing.B))) {
 			if _, err := m.SelectWith(nil, 10, 10, nil, scale); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// runPreprocessSuite isolates the pre-processing cold path: the full Fig. 9
+// preprocess over the 3000-row FL table (same benchmark and harness as the
+// core suite, so numbers recorded under different labels are comparable),
+// the embedding-training stage alone at the engine's full parallelism and
+// pinned to one worker (their ratio is the parallel speedup — and since the
+// deterministic sharded-gradient engine makes training a pure function of
+// (corpus, options), both produce byte-identical vectors), and the binning +
+// corpus stages that bound what faster training cannot cut.
+func runPreprocessSuite(run func(name string, fn func(b *testing.B))) {
+	ds, err := datagen.ByName("FL", 3000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := pipelineOptions()
+	run("Fig9Preprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := subtab.Preprocess(ds.T, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	binned, err := binning.Bin(ds.T, opt.Bins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sents := corpus.Build(binned, opt.Corpus)
+	run("BinAndCorpus", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bn, err := binning.Bin(ds.T, opt.Bins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			corpus.Build(bn, opt.Corpus)
+		}
+	})
+	run("Word2VecTrain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			word2vec.Train(sents, opt.Embedding)
+		}
+	})
+	serial := opt.Embedding
+	serial.Workers = 1
+	run("Word2VecTrain/w1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			word2vec.Train(sents, serial)
 		}
 	})
 }

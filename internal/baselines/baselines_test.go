@@ -327,7 +327,7 @@ func TestEmbDI(t *testing.T) {
 	res, err := EmbDI(e, EmbDIOptions{
 		K: 3, L: 3,
 		WalksPerNode: 3, WalkLength: 12,
-		Embedding: word2vec.Options{Dim: 12, Epochs: 2, Window: 4, Seed: 13, Workers: 1},
+		Embedding: word2vec.Options{Dim: 12, Epochs: 2, Window: 4, Seed: 13},
 		Seed:      13,
 	})
 	if err != nil {
@@ -343,7 +343,7 @@ func TestEmbDIBeatsNothing(t *testing.T) {
 	res, err := EmbDI(e, EmbDIOptions{
 		K: 3, L: 3,
 		WalksPerNode: 4, WalkLength: 16,
-		Embedding: word2vec.Options{Dim: 12, Epochs: 3, Window: 4, Seed: 14, Workers: 1},
+		Embedding: word2vec.Options{Dim: 12, Epochs: 3, Window: 4, Seed: 14},
 		Seed:      14,
 	})
 	if err != nil {

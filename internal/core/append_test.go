@@ -47,7 +47,7 @@ func synthOptions() core.Options {
 	return core.Options{
 		Bins:        binning.Options{MaxBins: 5, Strategy: binning.Quantile, Seed: 3},
 		Corpus:      corpus.Options{MaxSentences: 100_000, TupleSentences: true, Seed: 3},
-		Embedding:   word2vec.Options{Dim: 12, Epochs: 2, Seed: 3, Workers: 1},
+		Embedding:   word2vec.Options{Dim: 12, Epochs: 2, Seed: 3},
 		ClusterSeed: 7,
 	}
 }

@@ -58,7 +58,7 @@ func testOptions() Options {
 	return Options{
 		Bins:      binning.Options{MaxBins: 3, Strategy: binning.Quantile, Seed: 1},
 		Corpus:    corpus.Options{MaxSentences: 10_000, TupleSentences: true, Seed: 1},
-		Embedding: word2vec.Options{Dim: 16, Epochs: 4, Window: 4, Seed: 1, Workers: 1},
+		Embedding: word2vec.Options{Dim: 16, Epochs: 4, Window: 4, Seed: 1},
 	}
 }
 

@@ -29,11 +29,9 @@ func deterministicModel(t *testing.T) *core.Model {
 		t.Fatal(err)
 	}
 	opt := core.Options{
-		Bins:   binning.Options{MaxBins: 5, Strategy: binning.KDEValleys, Seed: 5},
-		Corpus: corpus.Options{MaxSentences: 100_000, TupleSentences: true, Seed: 5},
-		// Workers: 1 — hogwild training with more workers is deliberately
-		// not reproducible; everything downstream of a fixed embedding is.
-		Embedding:   word2vec.Options{Dim: 16, Epochs: 2, Seed: 5, Workers: 1},
+		Bins:        binning.Options{MaxBins: 5, Strategy: binning.KDEValleys, Seed: 5},
+		Corpus:      corpus.Options{MaxSentences: 100_000, TupleSentences: true, Seed: 5},
+		Embedding:   word2vec.Options{Dim: 16, Epochs: 2, Seed: 5},
 		ClusterSeed: 11,
 	}
 	m, err := core.Preprocess(ds.T, opt)

@@ -10,7 +10,7 @@ import (
 
 func tinyOptions() core.Options {
 	opt := core.Default()
-	opt.Embedding = word2vec.Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1}
+	opt.Embedding = word2vec.Options{Dim: 4, Epochs: 1, Seed: 1}
 	return opt
 }
 

@@ -101,7 +101,7 @@ func TestScaleOptionsSurviveModelRoundTrip(t *testing.T) {
 	opt := core.Options{
 		Bins:        binning.Options{MaxBins: 5, Strategy: binning.KDEValleys, Seed: 5},
 		Corpus:      corpus.Options{MaxSentences: 100_000, TupleSentences: true, Seed: 5},
-		Embedding:   word2vec.Options{Dim: 16, Epochs: 2, Seed: 5, Workers: 1},
+		Embedding:   word2vec.Options{Dim: 16, Epochs: 2, Seed: 5},
 		ClusterSeed: 11,
 		Scale:       core.ScaleOptions{Threshold: 100, SampleBudget: 300, BatchSize: 128, MaxIter: 50},
 	}

@@ -13,7 +13,6 @@ func testLab() *Lab {
 	l.Rows = map[string]int{"FL": 3000, "CC": 2500, "SP": 2500, "CY": 2000, "BL": 2500, "USF": 400}
 	l.Dim = 24
 	l.Epochs = 4
-	l.Workers = 1 // deterministic embeddings (hogwild off)
 	l.RanIters = 25
 	l.MABIters = 4000
 	l.MaxCombos = 4

@@ -5,9 +5,13 @@
 //
 // Two properties matter to callers:
 //
-//   - Kernels perform exactly the arithmetic their scalar predecessors did
-//     (same accumulation types, same operand order), so refactoring a caller
-//     onto them cannot change results by even one bit.
+//   - Every kernel computes ONE fixed arithmetic function of its inputs:
+//     accumulation types, operand order and (for the unrolled reductions)
+//     lane-to-accumulator assignment are documented contracts, never tuned
+//     per platform. Element-wise kernels (Axpy, Add, Scale) unroll without
+//     changing a single bit; reductions that unroll with multiple
+//     accumulators (Dot32) fix the lane order once, so their output is the
+//     same on every machine and at every worker count.
 //   - The parallel helpers only hand out disjoint index ranges; combined with
 //     MapReduceOrdered's chunk-order reduction, every parallel computation in
 //     this codebase is order-deterministic — same inputs, same bytes out,
@@ -85,26 +89,279 @@ func Dot(a, b []float32) float64 {
 }
 
 // Dot32 returns the dot product accumulated in float32 — the exact
-// arithmetic of the skip-gram inner loop.
+// arithmetic of the skip-gram inner loop. The kernel is unrolled 4-wide with
+// four independent accumulators (lane i feeds accumulator i mod 4) combined
+// as ((s0+s1)+(s2+s3))+tail; that lane order is FIXED and part of the
+// contract — it breaks the add-latency dependency chain without introducing
+// any scheduling- or width-dependent variation, so the result is one
+// deterministic function of the inputs on every machine.
 func Dot32(a, b []float32) float32 {
-	var s float32
-	for i := range a {
-		s += a[i] * b[i]
+	// Pinning cap to len lets the prover discharge the chunk-slice bounds
+	// checks below (slicing checks cap, not len).
+	a = a[:len(a):len(a)]
+	b = b[:len(a):len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	// Chunked subslices let the compiler prove every access in bounds: one
+	// provable slice op per block, constant indices inside.
+	for ; i <= len(a)-4; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		s0 += x[0] * y[0]
+		s1 += x[1] * y[1]
+		s2 += x[2] * y[2]
+		s3 += x[3] * y[3]
 	}
-	return s
+	var t float32
+	for ; i < len(a); i++ {
+		t += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + t
 }
 
-// Axpy adds a*x to y element-wise: y[i] += a * x[i].
+// Axpy adds a*x to y element-wise: y[i] += a * x[i]. The 8-wide unroll is
+// pure instruction-level parallelism: every element is independent, so the
+// results are bit-identical to the scalar loop at any width.
 func Axpy(a float32, x, y []float32) {
-	for i := range y {
+	y = y[:len(y):len(y)]
+	x = x[:len(y):len(y)]
+	i := 0
+	for ; i <= len(y)-8; i += 8 {
+		yy := y[i : i+8 : i+8]
+		xx := x[i : i+8 : i+8]
+		yy[0] += a * xx[0]
+		yy[1] += a * xx[1]
+		yy[2] += a * xx[2]
+		yy[3] += a * xx[3]
+		yy[4] += a * xx[4]
+		yy[5] += a * xx[5]
+		yy[6] += a * xx[6]
+		yy[7] += a * xx[7]
+	}
+	for ; i < len(y); i++ {
 		y[i] += a * x[i]
 	}
 }
 
-// Add adds x to dst element-wise: dst[i] += x[i].
+// Add adds x to dst element-wise: dst[i] += x[i]. Unrolled like Axpy;
+// element-independent, so bit-identical to the scalar loop.
 func Add(dst, x []float32) {
-	for i := range dst {
+	dst = dst[:len(dst):len(dst)]
+	x = x[:len(dst):len(dst)]
+	i := 0
+	for ; i <= len(dst)-8; i += 8 {
+		dd := dst[i : i+8 : i+8]
+		xx := x[i : i+8 : i+8]
+		dd[0] += xx[0]
+		dd[1] += xx[1]
+		dd[2] += xx[2]
+		dd[3] += xx[3]
+		dd[4] += xx[4]
+		dd[5] += xx[5]
+		dd[6] += xx[6]
+		dd[7] += xx[7]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] += x[i]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Skip-gram training kernels. The logistic table and the fused pair update
+// live here so the embedding trainer's inner loop is one call per target
+// row; the lane-order contracts are the same as the standalone kernels'.
+
+const (
+	sigTableSize = 1024
+	sigMax       = 6.0
+	// sigScale converts a logit offset by +sigMax into a table index with
+	// one multiply — the classic word2vec C expTable indexing, minus its
+	// division.
+	sigScale = sigTableSize / (2 * sigMax)
+)
+
+// sigTable is a precomputed logistic table over [-sigMax, sigMax].
+var sigTable = func() [sigTableSize]float32 {
+	var t [sigTableSize]float32
+	for i := range t {
+		x := (float64(i)/sigTableSize*2 - 1) * sigMax
+		t[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+	return t
+}()
+
+// Sigmoid32 is the table-driven logistic function of the training loop:
+// values beyond ±sigMax saturate to exactly 0 or 1, values inside map to a
+// 1024-cell table — the precomputed-sigmoid trick of the classic word2vec C
+// implementation. The table resolution is part of the arithmetic contract.
+func Sigmoid32(x float32) float32 {
+	if x >= sigMax {
+		return 1
+	}
+	if x <= -sigMax {
+		return 0
+	}
+	i := int((x + sigMax) * sigScale)
+	if uint(i) >= sigTableSize {
+		// NaN (int conversion yields a huge negative) or the x == sigMax-ε
+		// rounding edge: clamp so the function is total — garbage inputs must
+		// not crash the trainer, and the clamp keeps it deterministic.
+		if i < 0 {
+			return sigTable[0]
+		}
+		i = sigTableSize - 1
+	}
+	return sigTable[i]
+}
+
+// SGPair applies one complete skip-gram update slot against one target row:
+// g = (label - Sigmoid32(Dot32(cv, tv))) * lr, then the fused SGStep — one
+// call, two passes over tv (dot, then update; the first warms the lines the
+// second rewrites). Exactly equivalent to calling those three kernels in
+// sequence — the body below is their manual fusion, pinned to the composed
+// form by the kernel tests.
+func SGPair(label, lr float32, cv, tv, grad []float32) {
+	cv = cv[:len(cv):len(cv)]
+	tv = tv[:len(cv):len(cv)]
+	grad = grad[:len(cv):len(cv)]
+	// Dot32, fused: same 4-lane accumulation contract (element i feeds
+	// accumulator i mod 4, so the 8-wide block below adds the exact same
+	// terms to each lane in the exact same order as the 4-wide loop).
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i <= len(cv)-8; i += 8 {
+		c := cv[i : i+8 : i+8]
+		v := tv[i : i+8 : i+8]
+		s0 += c[0] * v[0]
+		s1 += c[1] * v[1]
+		s2 += c[2] * v[2]
+		s3 += c[3] * v[3]
+		s0 += c[4] * v[4]
+		s1 += c[5] * v[5]
+		s2 += c[6] * v[6]
+		s3 += c[7] * v[7]
+	}
+	for ; i <= len(cv)-4; i += 4 {
+		c := cv[i : i+4 : i+4]
+		v := tv[i : i+4 : i+4]
+		s0 += c[0] * v[0]
+		s1 += c[1] * v[1]
+		s2 += c[2] * v[2]
+		s3 += c[3] * v[3]
+	}
+	var t float32
+	for ; i < len(cv); i++ {
+		t += cv[i] * tv[i]
+	}
+	g := (label - Sigmoid32(((s0+s1)+(s2+s3))+t)) * lr
+	if g == 0 {
+		// Saturated pair (sigmoid hit exactly 0 or 1): every update term is
+		// a zero product, so skipping the pass is part of the contract —
+		// SGStep short-circuits identically.
+		return
+	}
+	// SGStep, fused.
+	i = 0
+	for ; i <= len(cv)-8; i += 8 {
+		c := cv[i : i+8 : i+8]
+		v := tv[i : i+8 : i+8]
+		gr := grad[i : i+8 : i+8]
+		t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+		t4, t5, t6, t7 := v[4], v[5], v[6], v[7]
+		gr[0] += g * t0
+		gr[1] += g * t1
+		gr[2] += g * t2
+		gr[3] += g * t3
+		gr[4] += g * t4
+		gr[5] += g * t5
+		gr[6] += g * t6
+		gr[7] += g * t7
+		v[0] = t0 + g*c[0]
+		v[1] = t1 + g*c[1]
+		v[2] = t2 + g*c[2]
+		v[3] = t3 + g*c[3]
+		v[4] = t4 + g*c[4]
+		v[5] = t5 + g*c[5]
+		v[6] = t6 + g*c[6]
+		v[7] = t7 + g*c[7]
+	}
+	for ; i <= len(cv)-4; i += 4 {
+		c := cv[i : i+4 : i+4]
+		v := tv[i : i+4 : i+4]
+		gr := grad[i : i+4 : i+4]
+		t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+		gr[0] += g * t0
+		gr[1] += g * t1
+		gr[2] += g * t2
+		gr[3] += g * t3
+		v[0] = t0 + g*c[0]
+		v[1] = t1 + g*c[1]
+		v[2] = t2 + g*c[2]
+		v[3] = t3 + g*c[3]
+	}
+	for ; i < len(cv); i++ {
+		t := tv[i]
+		grad[i] += g * t
+		tv[i] = t + g*cv[i]
+	}
+}
+
+// SGStep is the fused skip-gram update against one target row: with the
+// gradient scale g already computed, it accumulates g*tv into grad (the
+// pending center update) and adds g*cv to tv. Per lane it performs exactly
+// the arithmetic of Axpy(g, tv, grad) followed by Axpy(g, cv, tv) — grad
+// reads the pre-update tv lane — but in one pass, loading each tv lane once.
+// Element-independent, so bit-identical to the two-call form at any unroll
+// width. This is the training inner loop's dominant kernel.
+func SGStep(g float32, cv, tv, grad []float32) {
+	if g == 0 {
+		return // zero gradient: every term below is a zero product
+	}
+	cv = cv[:len(cv):len(cv)]
+	tv = tv[:len(cv):len(cv)]
+	grad = grad[:len(cv):len(cv)]
+	i := 0
+	for ; i <= len(cv)-8; i += 8 {
+		c := cv[i : i+8 : i+8]
+		v := tv[i : i+8 : i+8]
+		gr := grad[i : i+8 : i+8]
+		t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+		t4, t5, t6, t7 := v[4], v[5], v[6], v[7]
+		gr[0] += g * t0
+		gr[1] += g * t1
+		gr[2] += g * t2
+		gr[3] += g * t3
+		gr[4] += g * t4
+		gr[5] += g * t5
+		gr[6] += g * t6
+		gr[7] += g * t7
+		v[0] = t0 + g*c[0]
+		v[1] = t1 + g*c[1]
+		v[2] = t2 + g*c[2]
+		v[3] = t3 + g*c[3]
+		v[4] = t4 + g*c[4]
+		v[5] = t5 + g*c[5]
+		v[6] = t6 + g*c[6]
+		v[7] = t7 + g*c[7]
+	}
+	for ; i <= len(cv)-4; i += 4 {
+		c := cv[i : i+4 : i+4]
+		v := tv[i : i+4 : i+4]
+		gr := grad[i : i+4 : i+4]
+		t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+		gr[0] += g * t0
+		gr[1] += g * t1
+		gr[2] += g * t2
+		gr[3] += g * t3
+		v[0] = t0 + g*c[0]
+		v[1] = t1 + g*c[1]
+		v[2] = t2 + g*c[2]
+		v[3] = t3 + g*c[3]
+	}
+	for ; i < len(cv); i++ {
+		t := tv[i]
+		grad[i] += g * t
+		tv[i] = t + g*cv[i]
 	}
 }
 
@@ -335,5 +592,296 @@ func MapReduceOrdered[T any](n, workers int, mapFn func(start, end int) T, reduc
 	})
 	for i := 0; i < nChunks; i++ {
 		reduce(results[i])
+	}
+}
+
+// SGSlotMaxBatch bounds the batched fast path of SGSlot: slots with more
+// targets (Negatives > 7) take the sequential path.
+const SGSlotMaxBatch = 8
+
+// SGSlot runs one complete skip-gram slot against one center row: tvs[0] is
+// the positive target (label 1), tvs[1:] are negatives (label 0), processed
+// in ascending order, with the center update applied at the end. Exactly
+// equivalent to Zero(grad); SGPair(label_i, lr, cv, tvs[i], grad) for
+// i = 0, 1, ...; Add(cv, grad) — one call per slot instead of one per
+// target, so the trainer's hottest path crosses the function boundary
+// seven times less.
+//
+// When every target is a distinct row (detected by backing-array pointer:
+// duplicate draws from the trainer alias the same overlay row) the dots and
+// sigmoid lookups are computed for all targets up front. The per-target
+// dot→table-load→update chain is latency-bound, so letting the independent
+// chains overlap is worth ~15% of training time; because the rows are
+// distinct and the center update is deferred to the end, the arithmetic —
+// and so every output bit — is identical to the sequential order. Slots with
+// aliased targets (where target k+1 must see target k's update) fall back to
+// the sequential path.
+func SGSlot(lr float32, cv, grad []float32, tvs [][]float32) {
+	if len(tvs) == 0 || len(cv) == 0 {
+		Zero(grad)
+		return
+	}
+	batch := len(tvs) <= SGSlotMaxBatch
+	for i := 1; i < len(tvs) && batch; i++ {
+		p := &tvs[i][0]
+		for j := 0; j < i; j++ {
+			if p == &tvs[j][0] {
+				batch = false
+				break
+			}
+		}
+	}
+	if batch {
+		SGSlotDistinct(lr, cv, grad, tvs)
+		return
+	}
+	sgSlotSeq(lr, cv, grad, tvs)
+}
+
+// SGSlotDistinct is SGSlot's all-distinct-rows path: dots for every target
+// first, then the sigmoid gradients, then the updates in target order. It is
+// exported for callers that already know every target row is distinct — e.g.
+// the trainer, which sees the sampled row ids as integers and can compare
+// them for free — skipping SGSlot's per-call pointer scan. The caller's
+// guarantees are the contract: 1 <= len(tvs) <= SGSlotMaxBatch, len(cv) > 0,
+// and pairwise non-aliased target rows (aliased rows passed here would read
+// stale values where SGSlot's sequential order shows earlier updates).
+func SGSlotDistinct(lr float32, cv, grad []float32, tvs [][]float32) {
+	cv = cv[:len(cv):len(cv)]
+	grad = grad[:len(cv):len(cv)]
+	var gs [SGSlotMaxBatch]float32
+	for k, tv := range tvs {
+		tv = tv[:len(cv):len(cv)]
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i <= len(cv)-8; i += 8 {
+			c := cv[i : i+8 : i+8]
+			v := tv[i : i+8 : i+8]
+			s0 += c[0] * v[0]
+			s1 += c[1] * v[1]
+			s2 += c[2] * v[2]
+			s3 += c[3] * v[3]
+			s0 += c[4] * v[4]
+			s1 += c[5] * v[5]
+			s2 += c[6] * v[6]
+			s3 += c[7] * v[7]
+		}
+		for ; i <= len(cv)-4; i += 4 {
+			c := cv[i : i+4 : i+4]
+			v := tv[i : i+4 : i+4]
+			s0 += c[0] * v[0]
+			s1 += c[1] * v[1]
+			s2 += c[2] * v[2]
+			s3 += c[3] * v[3]
+		}
+		var t float32
+		for ; i < len(cv); i++ {
+			t += cv[i] * tv[i]
+		}
+		gs[k&(SGSlotMaxBatch-1)] = ((s0 + s1) + (s2 + s3)) + t
+	}
+	label := float32(1)
+	for k := range tvs {
+		ki := k & (SGSlotMaxBatch - 1)
+		gs[ki] = (label - Sigmoid32(gs[ki])) * lr
+		label = 0
+	}
+	// grad is initialized by the first unsaturated target (g*tv equals
+	// 0 + g*tv bit for bit) instead of a separate zeroing pass; if every
+	// target saturates, grad is zeroed to honor the contract and the center
+	// add is skipped (cv + 0 is the identity).
+	ginit := false
+	for k, tv := range tvs {
+		g := gs[k&(SGSlotMaxBatch-1)]
+		if g == 0 {
+			continue // saturated: every update term is a zero product
+		}
+		tv = tv[:len(cv):len(cv)]
+		i := 0
+		if !ginit {
+			ginit = true
+			for ; i <= len(cv)-8; i += 8 {
+				c := cv[i : i+8 : i+8]
+				v := tv[i : i+8 : i+8]
+				gr := grad[i : i+8 : i+8]
+				t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+				t4, t5, t6, t7 := v[4], v[5], v[6], v[7]
+				gr[0] = g * t0
+				gr[1] = g * t1
+				gr[2] = g * t2
+				gr[3] = g * t3
+				gr[4] = g * t4
+				gr[5] = g * t5
+				gr[6] = g * t6
+				gr[7] = g * t7
+				v[0] = t0 + g*c[0]
+				v[1] = t1 + g*c[1]
+				v[2] = t2 + g*c[2]
+				v[3] = t3 + g*c[3]
+				v[4] = t4 + g*c[4]
+				v[5] = t5 + g*c[5]
+				v[6] = t6 + g*c[6]
+				v[7] = t7 + g*c[7]
+			}
+			for ; i < len(cv); i++ {
+				t := tv[i]
+				grad[i] = g * t
+				tv[i] = t + g*cv[i]
+			}
+			continue
+		}
+		for ; i <= len(cv)-8; i += 8 {
+			c := cv[i : i+8 : i+8]
+			v := tv[i : i+8 : i+8]
+			gr := grad[i : i+8 : i+8]
+			t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+			t4, t5, t6, t7 := v[4], v[5], v[6], v[7]
+			gr[0] += g * t0
+			gr[1] += g * t1
+			gr[2] += g * t2
+			gr[3] += g * t3
+			gr[4] += g * t4
+			gr[5] += g * t5
+			gr[6] += g * t6
+			gr[7] += g * t7
+			v[0] = t0 + g*c[0]
+			v[1] = t1 + g*c[1]
+			v[2] = t2 + g*c[2]
+			v[3] = t3 + g*c[3]
+			v[4] = t4 + g*c[4]
+			v[5] = t5 + g*c[5]
+			v[6] = t6 + g*c[6]
+			v[7] = t7 + g*c[7]
+		}
+		for ; i < len(cv); i++ {
+			t := tv[i]
+			grad[i] += g * t
+			tv[i] = t + g*cv[i]
+		}
+	}
+	if !ginit {
+		Zero(grad)
+		return
+	}
+	i := 0
+	for ; i <= len(cv)-8; i += 8 {
+		c := cv[i : i+8 : i+8]
+		gr := grad[i : i+8 : i+8]
+		c[0] += gr[0]
+		c[1] += gr[1]
+		c[2] += gr[2]
+		c[3] += gr[3]
+		c[4] += gr[4]
+		c[5] += gr[5]
+		c[6] += gr[6]
+		c[7] += gr[7]
+	}
+	for ; i < len(cv); i++ {
+		cv[i] += grad[i]
+	}
+}
+
+// sgSlotSeq is SGSlot's fully sequential path: each target's dot is computed
+// after the previous target's update, so aliased target rows observe earlier
+// updates exactly as the per-target composition does.
+func sgSlotSeq(lr float32, cv, grad []float32, tvs [][]float32) {
+	cv = cv[:len(cv):len(cv)]
+	grad = grad[:len(cv):len(cv)]
+	for i := range grad {
+		grad[i] = 0
+	}
+	label := float32(1)
+	for _, tv := range tvs {
+		tv = tv[:len(cv):len(cv)]
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i <= len(cv)-8; i += 8 {
+			c := cv[i : i+8 : i+8]
+			v := tv[i : i+8 : i+8]
+			s0 += c[0] * v[0]
+			s1 += c[1] * v[1]
+			s2 += c[2] * v[2]
+			s3 += c[3] * v[3]
+			s0 += c[4] * v[4]
+			s1 += c[5] * v[5]
+			s2 += c[6] * v[6]
+			s3 += c[7] * v[7]
+		}
+		for ; i <= len(cv)-4; i += 4 {
+			c := cv[i : i+4 : i+4]
+			v := tv[i : i+4 : i+4]
+			s0 += c[0] * v[0]
+			s1 += c[1] * v[1]
+			s2 += c[2] * v[2]
+			s3 += c[3] * v[3]
+		}
+		var t float32
+		for ; i < len(cv); i++ {
+			t += cv[i] * tv[i]
+		}
+		g := (label - Sigmoid32(((s0+s1)+(s2+s3))+t)) * lr
+		label = 0
+		if g == 0 {
+			continue // saturated: every update term is a zero product
+		}
+		i = 0
+		for ; i <= len(cv)-8; i += 8 {
+			c := cv[i : i+8 : i+8]
+			v := tv[i : i+8 : i+8]
+			gr := grad[i : i+8 : i+8]
+			t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+			t4, t5, t6, t7 := v[4], v[5], v[6], v[7]
+			gr[0] += g * t0
+			gr[1] += g * t1
+			gr[2] += g * t2
+			gr[3] += g * t3
+			gr[4] += g * t4
+			gr[5] += g * t5
+			gr[6] += g * t6
+			gr[7] += g * t7
+			v[0] = t0 + g*c[0]
+			v[1] = t1 + g*c[1]
+			v[2] = t2 + g*c[2]
+			v[3] = t3 + g*c[3]
+			v[4] = t4 + g*c[4]
+			v[5] = t5 + g*c[5]
+			v[6] = t6 + g*c[6]
+			v[7] = t7 + g*c[7]
+		}
+		for ; i <= len(cv)-4; i += 4 {
+			c := cv[i : i+4 : i+4]
+			v := tv[i : i+4 : i+4]
+			gr := grad[i : i+4 : i+4]
+			t0, t1, t2, t3 := v[0], v[1], v[2], v[3]
+			gr[0] += g * t0
+			gr[1] += g * t1
+			gr[2] += g * t2
+			gr[3] += g * t3
+			v[0] = t0 + g*c[0]
+			v[1] = t1 + g*c[1]
+			v[2] = t2 + g*c[2]
+			v[3] = t3 + g*c[3]
+		}
+		for ; i < len(cv); i++ {
+			t := tv[i]
+			grad[i] += g * t
+			tv[i] = t + g*cv[i]
+		}
+	}
+	i := 0
+	for ; i <= len(cv)-8; i += 8 {
+		c := cv[i : i+8 : i+8]
+		gr := grad[i : i+8 : i+8]
+		c[0] += gr[0]
+		c[1] += gr[1]
+		c[2] += gr[2]
+		c[3] += gr[3]
+		c[4] += gr[4]
+		c[5] += gr[5]
+		c[6] += gr[6]
+		c[7] += gr[7]
+	}
+	for ; i < len(cv); i++ {
+		cv[i] += grad[i]
 	}
 }

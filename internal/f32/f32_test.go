@@ -50,8 +50,26 @@ func TestFromRowsPacks(t *testing.T) {
 	}
 }
 
-// TestKernelsMatchScalar pins the kernels to their scalar definitions,
-// including accumulation types — the refactor's bit-identity contract.
+// dot32Reference is the documented accumulation contract of Dot32, written
+// out naively: lane i feeds accumulator i mod 4, combined as
+// ((s0+s1)+(s2+s3))+tail. The kernel may unroll however it likes as long as
+// it computes exactly this function.
+func dot32Reference(a, b []float32) float32 {
+	var s [4]float32
+	n4 := len(a) / 4 * 4
+	for i := 0; i < n4; i++ {
+		s[i%4] += a[i] * b[i]
+	}
+	var tail float32
+	for i := n4; i < len(a); i++ {
+		tail += a[i] * b[i]
+	}
+	return ((s[0] + s[1]) + (s[2] + s[3])) + tail
+}
+
+// TestKernelsMatchScalar pins the kernels to their definitions, including
+// accumulation types and (for Dot32) the fixed lane order — the bit-identity
+// contract every caller leans on.
 func TestKernelsMatchScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 50; trial++ {
@@ -62,21 +80,51 @@ func TestKernelsMatchScalar(t *testing.T) {
 			b[i] = rng.Float32()*2 - 1
 		}
 		var dot64, sq float64
-		var dot32 float32
 		for i := range a {
 			dot64 += float64(a[i]) * float64(b[i])
-			dot32 += a[i] * b[i]
 			d := float64(a[i]) - float64(b[i])
 			sq += d * d
 		}
 		if got := Dot(a, b); got != dot64 {
 			t.Fatalf("Dot = %v, scalar %v", got, dot64)
 		}
-		if got := Dot32(a, b); got != dot32 {
-			t.Fatalf("Dot32 = %v, scalar %v", got, dot32)
+		if got, want := Dot32(a, b), dot32Reference(a, b); got != want {
+			t.Fatalf("n=%d: Dot32 = %v, lane-order reference %v", n, got, want)
 		}
 		if got := SqDist(a, b); got != sq {
 			t.Fatalf("SqDist = %v, scalar %v", got, sq)
+		}
+		// Axpy and Add are element-independent: the unrolled kernels must
+		// match the scalar loops bit for bit at every length.
+		y1 := append([]float32(nil), b...)
+		y2 := append([]float32(nil), b...)
+		Axpy(0.75, a, y1)
+		for i := range y2 {
+			y2[i] += 0.75 * a[i]
+		}
+		if !reflect.DeepEqual(y1, y2) {
+			t.Fatalf("n=%d: Axpy diverged from scalar: %v vs %v", n, y1, y2)
+		}
+		Add(y1, a)
+		for i := range y2 {
+			y2[i] += a[i]
+		}
+		if !reflect.DeepEqual(y1, y2) {
+			t.Fatalf("n=%d: Add diverged from scalar: %v vs %v", n, y1, y2)
+		}
+		// SGStep must be the exact fusion of Axpy(g, tv, grad) then
+		// Axpy(g, cv, tv): grad reads the pre-update tv.
+		cv := a
+		tv1 := append([]float32(nil), b...)
+		tv2 := append([]float32(nil), b...)
+		grad1 := append([]float32(nil), y1...)
+		grad2 := append([]float32(nil), y1...)
+		const g = float32(-0.37)
+		SGStep(g, cv, tv1, grad1)
+		Axpy(g, tv2, grad2)
+		Axpy(g, cv, tv2)
+		if !reflect.DeepEqual(tv1, tv2) || !reflect.DeepEqual(grad1, grad2) {
+			t.Fatalf("n=%d: SGStep diverged from its two-Axpy definition", n)
 		}
 		// A completed bounded distance is the exact distance; an aborted one
 		// is a prefix that already proves d >= bound.
@@ -86,6 +134,107 @@ func TestKernelsMatchScalar(t *testing.T) {
 		bound := sq / 2
 		if got := SqDistBounded(a, b, bound); got < bound && got != sq {
 			t.Fatalf("aborted SqDistBounded returned %v below bound %v without equalling %v", got, bound, sq)
+		}
+	}
+}
+
+func TestSigmoidTable(t *testing.T) {
+	cases := []struct {
+		x    float32
+		want float64
+		tol  float64
+	}{
+		{0, 0.5, 0.01},
+		{10, 1, 1e-9},
+		{-10, 0, 1e-9},
+		{2, 1 / (1 + math.Exp(-2)), 0.01},
+		{-2, 1 / (1 + math.Exp(2)), 0.01},
+	}
+	for _, c := range cases {
+		if got := float64(Sigmoid32(c.x)); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Sigmoid32(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// TestSGPairMatchesComposition pins SGPair to its definition: the exact
+// composition of Dot32, Sigmoid32 and SGStep.
+func TestSGPairMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(70)
+		cv := make([]float32, n)
+		tv1 := make([]float32, n)
+		grad1 := make([]float32, n)
+		for i := range cv {
+			cv[i] = rng.Float32()*2 - 1
+			tv1[i] = rng.Float32()*2 - 1
+			grad1[i] = rng.Float32()*2 - 1
+		}
+		tv2 := append([]float32(nil), tv1...)
+		grad2 := append([]float32(nil), grad1...)
+		label := float32(trial % 2)
+		const lr = float32(0.0213)
+		SGPair(label, lr, cv, tv1, grad1)
+		g := (label - Sigmoid32(Dot32(cv, tv2))) * lr
+		SGStep(g, cv, tv2, grad2)
+		if !reflect.DeepEqual(tv1, tv2) || !reflect.DeepEqual(grad1, grad2) {
+			t.Fatalf("n=%d: SGPair diverged from its composed definition", n)
+		}
+	}
+}
+
+// TestSGSlotMatchesComposition pins SGSlot to its definition: Zero(grad),
+// then SGPair per target (tvs[0] positive, rest negative), then Add(cv, grad).
+func TestSGSlotMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		targets := 1 + rng.Intn(10) // >8 exercises the sequential path too
+		cv1 := make([]float32, n)
+		grad1 := make([]float32, n)
+		tvs1 := make([][]float32, targets)
+		tvs2 := make([][]float32, targets)
+		for i := range cv1 {
+			cv1[i] = rng.Float32()*2 - 1
+			grad1[i] = rng.Float32()*2 - 1 // stale garbage: SGSlot must zero it
+		}
+		for ti := range tvs1 {
+			if ti > 0 && rng.Intn(4) == 0 {
+				// Alias an earlier target row: a duplicate negative draw must
+				// see the earlier target's update, which forces SGSlot off its
+				// batched path.
+				src := rng.Intn(ti)
+				tvs1[ti] = tvs1[src]
+				tvs2[ti] = tvs2[src]
+				continue
+			}
+			tvs1[ti] = make([]float32, n)
+			for i := range tvs1[ti] {
+				tvs1[ti][i] = rng.Float32()*2 - 1
+			}
+			tvs2[ti] = append([]float32(nil), tvs1[ti]...)
+		}
+		cv2 := append([]float32(nil), cv1...)
+		grad2 := make([]float32, n)
+		const lr = float32(0.025)
+		SGSlot(lr, cv1, grad1, tvs1)
+		Zero(grad2)
+		for ti := range tvs2 {
+			label := float32(0)
+			if ti == 0 {
+				label = 1
+			}
+			SGPair(label, lr, cv2, tvs2[ti], grad2)
+		}
+		Add(cv2, grad2)
+		if !reflect.DeepEqual(cv1, cv2) {
+			t.Fatalf("n=%d targets=%d: SGSlot center diverged from composition", n, targets)
+		}
+		for ti := range tvs1 {
+			if !reflect.DeepEqual(tvs1[ti], tvs2[ti]) {
+				t.Fatalf("n=%d targets=%d: SGSlot target %d diverged from composition", n, targets, ti)
+			}
 		}
 	}
 }

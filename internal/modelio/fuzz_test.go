@@ -32,7 +32,7 @@ func fuzzModelBytes(tb testing.TB) []byte {
 	}
 	opt := core.Default()
 	opt.Bins.MaxBins = 4
-	opt.Embedding = word2vec.Options{Dim: 8, Epochs: 1, Seed: 1, Workers: 1}
+	opt.Embedding = word2vec.Options{Dim: 8, Epochs: 1, Seed: 1}
 	m, err := core.Preprocess(tab, opt)
 	if err != nil {
 		tb.Fatal(err)

@@ -55,7 +55,7 @@ var zero float64 // foils constant folding of 0/0
 func testModel(t *testing.T) *core.Model {
 	t.Helper()
 	opt := core.Default()
-	opt.Embedding = word2vec.Options{Dim: 16, Epochs: 2, Seed: 3, Workers: 1}
+	opt.Embedding = word2vec.Options{Dim: 16, Epochs: 2, Seed: 3}
 	opt.ClusterSeed = 5
 	m, err := core.Preprocess(testTable(t, 400), opt)
 	if err != nil {

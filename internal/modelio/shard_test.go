@@ -17,7 +17,7 @@ import (
 func shardedModel(t *testing.T, dir string) *core.Model {
 	t.Helper()
 	opt := core.Default()
-	opt.Embedding = word2vec.Options{Dim: 16, Epochs: 2, Seed: 3, Workers: 1}
+	opt.Embedding = word2vec.Options{Dim: 16, Epochs: 2, Seed: 3}
 	opt.ClusterSeed = 5
 	opt.Scale = core.ScaleOptions{Threshold: 1, SampleBudget: 150, BatchSize: 64, MaxIter: 40}
 	m, err := core.Preprocess(testTable(t, 400), opt)

@@ -41,7 +41,7 @@ func testTable(name string, rows int, seed int64) *table.Table {
 // testOptions are small, deterministic pipeline settings.
 func testOptions() core.Options {
 	opt := core.Default()
-	opt.Embedding = word2vec.Options{Dim: 12, Epochs: 2, Seed: 2, Workers: 1}
+	opt.Embedding = word2vec.Options{Dim: 12, Epochs: 2, Seed: 2}
 	opt.ClusterSeed = 9
 	return opt
 }

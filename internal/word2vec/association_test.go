@@ -19,7 +19,7 @@ func TestDot(t *testing.T) {
 
 func TestContextVector(t *testing.T) {
 	sents := [][]int32{{1, 2}, {2, 3}, {1, 3}}
-	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 1, Workers: 1})
+	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 1})
 	for _, tok := range []int32{1, 2, 3} {
 		cv := m.ContextVector(tok)
 		if len(cv) != 8 {
@@ -32,7 +32,7 @@ func TestContextVector(t *testing.T) {
 }
 
 func TestAssociationUnseen(t *testing.T) {
-	m := Train([][]int32{{1, 2}}, Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1})
+	m := Train([][]int32{{1, 2}}, Options{Dim: 4, Epochs: 1, Seed: 1})
 	if got := m.Association(1, 99); got != 0 {
 		t.Fatalf("association with unseen = %v", got)
 	}
@@ -43,7 +43,7 @@ func TestAssociationUnseen(t *testing.T) {
 
 func TestAssociationSymmetric(t *testing.T) {
 	sents := planted(500, 5)
-	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 5, Workers: 1})
+	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 5})
 	if a, b := m.Association(0, 1), m.Association(1, 0); math.Abs(a-b) > 1e-9 {
 		t.Fatalf("association not symmetric: %v vs %v", a, b)
 	}
@@ -65,7 +65,7 @@ func TestAssociationSeparatesCooccurrence(t *testing.T) {
 			sents = append(sents, []int32{2, noise(), noise()})
 		}
 	}
-	m := Train(sents, Options{Dim: 16, Epochs: 6, Window: 3, Seed: 17, Workers: 1})
+	m := Train(sents, Options{Dim: 16, Epochs: 6, Window: 3, Seed: 17})
 	together := m.Association(0, 1)
 	apart := m.Association(0, 2)
 	if together <= apart {

@@ -1,0 +1,109 @@
+package word2vec
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// modelBytes returns the complete trained state of a model — both matrices —
+// so equality checks compare every byte the trainer produced.
+func modelBytes(m *Model) ([]int32, []float32, []float32) {
+	return m.Tokens(), m.VectorData(), m.ContextData()
+}
+
+func requireIdentical(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	at, av, ac := modelBytes(a)
+	bt, bv, bc := modelBytes(b)
+	if !reflect.DeepEqual(at, bt) {
+		t.Fatalf("%s: token order diverged", label)
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("%s: input matrix diverged at %d: %v != %v", label, i, av[i], bv[i])
+		}
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Fatalf("%s: context matrix diverged at %d: %v != %v", label, i, ac[i], bc[i])
+		}
+	}
+}
+
+// TestTrainBitIdenticalAcrossWorkerCounts is the tentpole property: the
+// trained model is a pure function of (corpus, Options) — Workers only
+// schedules work. The corpus spans many chunks so the sweep actually
+// exercises cross-chunk merging, not a degenerate single-chunk run.
+func TestTrainBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	sents := planted(12000, 21) // ~36k centers: multiple rounds of chunks
+	opt := Options{Dim: 16, Epochs: 2, Window: 3, Seed: 99}
+	opt.Workers = 1
+	ref := Train(sents, opt)
+	for _, w := range []int{2, 3, 8} {
+		opt.Workers = w
+		requireIdentical(t, "workers=1 vs workers="+strconv.Itoa(w), ref, Train(sents, opt))
+	}
+}
+
+// TestTrainRepeatRunsIdentical: same inputs, same bytes, run to run — at a
+// parallel worker count.
+func TestTrainRepeatRunsIdentical(t *testing.T) {
+	sents := planted(6000, 5)
+	opt := Options{Dim: 16, Epochs: 2, Window: 3, Seed: 7, Workers: 8}
+	requireIdentical(t, "repeat run", Train(sents, opt), Train(sents, opt))
+}
+
+func TestFineTuneBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := Train(planted(3000, 2), Options{Dim: 16, Epochs: 2, Window: 3, Seed: 3})
+	// Delta corpus mixes old tokens with a band of new ones so the fine-tune
+	// crosses the freeze boundary in both directions.
+	var delta [][]int32
+	for i := 0; i < 9000; i++ {
+		delta = append(delta, []int32{int32(100 + i%7), int32(10 + i%20), int32(30 + i%20)})
+	}
+	opt := Options{Epochs: 2, Window: 3, Seed: 31}
+	opt.Workers = 1
+	ref := base.FineTune(delta, opt)
+	for _, w := range []int{2, 3, 8} {
+		opt.Workers = w
+		requireIdentical(t, "finetune workers=1 vs workers="+strconv.Itoa(w), ref, base.FineTune(delta, opt))
+	}
+	// Repeat run at a parallel count.
+	opt.Workers = 8
+	requireIdentical(t, "finetune repeat run", base.FineTune(delta, opt), base.FineTune(delta, opt))
+}
+
+// TestAllShortSentences: a corpus of vocabulary-only sentences (every
+// sentence under 2 tokens) trains zero pairs but still builds the vocabulary
+// with initialized vectors.
+func TestAllShortSentences(t *testing.T) {
+	sents := [][]int32{{4}, {9}, {4}, {}}
+	m := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 1})
+	if m.VocabSize() != 2 {
+		t.Fatalf("vocab = %d, want 2", m.VocabSize())
+	}
+	if len(m.Vector(4)) != 8 || len(m.Vector(9)) != 8 {
+		t.Fatal("short-sentence tokens must still get vectors")
+	}
+}
+
+// TestSingleTokenVocab: with one distinct token the unigram table is
+// degenerate — every negative draw collides with the positive context, so
+// bounded resampling must skip the slot instead of spinning, and training
+// must terminate with finite vectors.
+func TestSingleTokenVocab(t *testing.T) {
+	sents := [][]int32{{7, 7, 7}, {7, 7}}
+	m := Train(sents, Options{Dim: 8, Epochs: 3, Seed: 1, Negatives: 4})
+	if m.VocabSize() != 1 {
+		t.Fatalf("vocab = %d, want 1", m.VocabSize())
+	}
+	for _, x := range m.Vector(7) {
+		if x != x || x > 1e6 || x < -1e6 {
+			t.Fatalf("single-token training produced non-finite vector: %v", m.Vector(7))
+		}
+	}
+	// Still deterministic across worker counts.
+	m2 := Train(sents, Options{Dim: 8, Epochs: 3, Seed: 1, Negatives: 4, Workers: 8})
+	requireIdentical(t, "single-token vocab", m, m2)
+}

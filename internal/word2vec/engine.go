@@ -1,0 +1,503 @@
+package word2vec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"subtab/internal/f32"
+)
+
+// Deterministic sharded-gradient training.
+//
+// The corpus is split once into fixed-order chunks of consecutive sentences
+// (see buildChunks — boundaries depend only on the corpus, never on the
+// worker count). Chunks are processed in rounds of
+// roundChunks: within a round the shared matrices are frozen, each chunk's
+// worker runs plain sequential SGD against a private copy-on-first-touch
+// overlay of the rows it reads or writes, and when every chunk of the round
+// has finished, the per-chunk sparse deltas (overlay minus snapshot) are
+// merged back into the shared matrices in ascending chunk order.
+//
+// Three schedule choices make the output a pure function of (corpus,
+// Options) at ANY worker count:
+//
+//   - each chunk's rng stream is chunkRNG(seed, epoch, chunkIndex) — derived
+//     from the chunk's identity, not from which worker ran it;
+//   - the learning rate of a center position is computed from its global
+//     position (epoch*epochCenters + chunk.start + offset), replacing the
+//     old shared atomic counter whose interleaving made the schedule
+//     scheduling-dependent;
+//   - delta merges happen in chunk order, so the float32 addition order per
+//     row is fixed.
+//
+// Workers only changes how many of a round's chunks run concurrently;
+// parallelism is therefore capped at roundChunks per round, and a run with
+// Workers=1 executes the exact same chunk programs serially. Rows below
+// trainer.frozen (FineTune's pre-existing vocabulary) are read straight from
+// the shared matrices and never enter an overlay, so they stay byte-frozen.
+const (
+	// Chunk size adapts to the corpus so every epoch gets at least
+	// ~epochRounds merge rounds: chunks trained against one snapshot must
+	// stay a small fraction of an epoch or staleness degrades embedding
+	// quality on small corpora. The bounds keep chunks large enough that the
+	// per-chunk overlay copy and delta merge are noise next to the training
+	// arithmetic, and small enough that a round's summed deltas cannot
+	// overshoot. The target is derived from the corpus alone — never from
+	// Workers — so the schedule stays worker-count independent.
+	maxChunkCenters = 2048
+	minChunkCenters = 64
+	epochRounds     = 64
+	// roundChunks is the number of chunks per merge round — the parallelism
+	// cap. Fixed (never derived from Workers) so the round structure, and
+	// with it the output, is worker-count independent. Quality pins the
+	// ROUND's center count (the staleness window), so fewer, larger chunks
+	// per round cost nothing in quality while halving the per-chunk overhead
+	// (overlay first-touch copies, delta pack/merge).
+	roundChunks = 4
+	// negAttempts bounds negative resampling per slot (see trainer.pair).
+	negAttempts = 16
+	// deltaClamp bounds each packed delta component. Rounds SUM the deltas of
+	// every chunk that touched a row; at high learning rates (EmbDI's 0.1)
+	// that summation can overshoot and oscillate to ±Inf. Healthy updates are
+	// orders of magnitude below the clamp, so it only engages to keep a
+	// diverging run finite — and it is applied per chunk before the merge, so
+	// the result is still a pure function of (corpus, Options).
+	deltaClamp = 1.0
+)
+
+// chunk is a fixed run of consecutive sentences plus the number of center
+// positions that precede it within one epoch (the LR-schedule offset).
+type chunk struct {
+	lo, hi int
+	start  int64
+}
+
+// buildChunks partitions sentences at sentence boundaries into chunks of
+// >= target center positions (sentences shorter than 2 tokens contribute
+// none) and returns the per-epoch center total. The target adapts to the
+// corpus: epochCenters/(roundChunks*epochRounds), clamped to
+// [minChunkCenters, maxChunkCenters].
+func buildChunks(sents [][]int32) ([]chunk, int64) {
+	var epochCenters int64
+	for _, s := range sents {
+		if len(s) >= 2 {
+			epochCenters += int64(len(s))
+		}
+	}
+	target := epochCenters / (roundChunks * epochRounds)
+	if target < minChunkCenters {
+		target = minChunkCenters
+	}
+	if target > maxChunkCenters {
+		target = maxChunkCenters
+	}
+	var chunks []chunk
+	var done int64
+	cur := chunk{lo: 0, start: 0}
+	var centers int64
+	for i, s := range sents {
+		if len(s) >= 2 {
+			centers += int64(len(s))
+		}
+		if centers >= target {
+			cur.hi = i + 1
+			chunks = append(chunks, cur)
+			done += centers
+			cur = chunk{lo: i + 1, start: done}
+			centers = 0
+		}
+	}
+	if centers > 0 {
+		cur.hi = len(sents)
+		chunks = append(chunks, cur)
+		done += centers
+	}
+	return chunks, done
+}
+
+// shadowMat is a copy-on-first-touch overlay over one shared matrix. Rows
+// materialize on first access (copied from the frozen shared snapshot) and
+// all chunk-local updates land here; generation stamps make per-chunk reset
+// O(1).
+type shadowMat struct {
+	data    []float32
+	gen     []uint32
+	cur     uint32
+	touched []int32
+}
+
+func newShadowMat(rows, dim int) *shadowMat {
+	return &shadowMat{data: make([]float32, rows*dim), gen: make([]uint32, rows)}
+}
+
+func (s *shadowMat) reset() {
+	s.cur++
+	if s.cur == 0 { // generation counter wrapped: invalidate every stamp
+		for i := range s.gen {
+			s.gen[i] = ^uint32(0)
+		}
+		s.cur = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+func (s *shadowMat) row(src []float32, r, dim int) []float32 {
+	off := r * dim
+	if s.gen[r] != s.cur {
+		s.gen[r] = s.cur
+		copy(s.data[off:off+dim], src[off:off+dim])
+		s.touched = append(s.touched, int32(r))
+	}
+	return s.data[off : off+dim : off+dim]
+}
+
+// shadow is one worker's scratch state: overlays for both matrices plus the
+// per-pair gradient accumulator.
+type shadow struct {
+	in, out *shadowMat
+	grad    []float32
+	tvs     [][]float32 // per-slot target rows, reused across slots
+	ids     []int       // per-slot accepted target ids, reused across slots
+}
+
+// deltaSlot carries one chunk's packed sparse deltas (touched rows and
+// overlay-minus-snapshot values) from its worker to the in-order merge.
+type deltaSlot struct {
+	inRows, outRows []int32
+	inVals, outVals []float32
+}
+
+// trainer runs the sharded-gradient schedule over pre-encoded (dense-index)
+// sentences, updating vecs/ctx in place.
+type trainer struct {
+	dim          int
+	vecs, ctx    []float32
+	sents        [][]int32 // dense-index sentences
+	chunks       []chunk
+	epochCenters int64
+	total        int64 // epochCenters * Epochs
+	unigram      []int32
+	opt          Options
+	frozen       int // rows below this index are read-only (FineTune)
+	rows         int
+}
+
+func (t *trainer) run() {
+	if len(t.chunks) == 0 || t.total <= 0 {
+		return
+	}
+	workers := t.opt.Workers
+	if workers > roundChunks {
+		workers = roundChunks
+	}
+	if workers > len(t.chunks) {
+		workers = len(t.chunks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shadows := make([]*shadow, workers)
+	for i := range shadows {
+		shadows[i] = &shadow{
+			in:   newShadowMat(t.rows, t.dim),
+			out:  newShadowMat(t.rows, t.dim),
+			grad: make([]float32, t.dim),
+			tvs:  make([][]float32, 0, t.opt.Negatives+1),
+		}
+	}
+	slots := make([]deltaSlot, roundChunks)
+
+	for epoch := 0; epoch < t.opt.Epochs; epoch++ {
+		for base := 0; base < len(t.chunks); base += roundChunks {
+			n := len(t.chunks) - base
+			if n > roundChunks {
+				n = roundChunks
+			}
+			if workers <= 1 || n == 1 {
+				for i := 0; i < n; i++ {
+					t.processChunk(epoch, base+i, shadows[0], &slots[i])
+				}
+			} else {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers && w < n; w++ {
+					wg.Add(1)
+					go func(sh *shadow) {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= n {
+								return
+							}
+							t.processChunk(epoch, base+i, sh, &slots[i])
+						}
+					}(shadows[w])
+				}
+				wg.Wait()
+			}
+			// Merge in ascending chunk order: per row the adds commute only
+			// up to float rounding, so the fixed order is what pins the bits.
+			for i := 0; i < n; i++ {
+				t.apply(&slots[i])
+			}
+		}
+	}
+}
+
+// apply folds one chunk's packed deltas into the shared matrices.
+func (t *trainer) apply(s *deltaSlot) {
+	dim := t.dim
+	for ti, r := range s.inRows {
+		off := int(r) * dim
+		f32.Add(t.vecs[off:off+dim], s.inVals[ti*dim:ti*dim+dim])
+	}
+	for ti, r := range s.outRows {
+		off := int(r) * dim
+		f32.Add(t.ctx[off:off+dim], s.outVals[ti*dim:ti*dim+dim])
+	}
+}
+
+// pack converts an overlay into slot deltas: for every touched row,
+// value = overlay - snapshot. Runs on the worker before the round barrier,
+// while the shared matrix is still the untouched snapshot.
+func pack(sm *shadowMat, src []float32, dim int, rows *[]int32, vals *[]float32) {
+	*rows = append((*rows)[:0], sm.touched...)
+	need := len(sm.touched) * dim
+	if cap(*vals) < need {
+		*vals = make([]float32, need)
+	}
+	*vals = (*vals)[:need]
+	for ti, r := range sm.touched {
+		off := int(r) * dim
+		dst := (*vals)[ti*dim : ti*dim+dim]
+		cur := sm.data[off : off+dim]
+		snap := src[off : off+dim]
+		for i := range dst {
+			d := cur[i] - snap[i]
+			if d > deltaClamp {
+				d = deltaClamp
+			} else if d < -deltaClamp {
+				d = -deltaClamp
+			}
+			dst[i] = d
+		}
+	}
+}
+
+// processChunk trains one chunk against the round snapshot and leaves its
+// packed deltas in slot.
+func (t *trainer) processChunk(epoch, ci int, sh *shadow, slot *deltaSlot) {
+	c := t.chunks[ci]
+	rng := chunkRNG(t.opt.Seed, epoch, ci)
+	sh.in.reset()
+	sh.out.reset()
+	dim := t.dim
+	lr0 := t.opt.LearningRate
+	minLR := lr0 / 100
+	pos := int64(epoch)*t.epochCenters + c.start
+	invTotal := 1 / float64(t.total)
+	window := t.opt.Window
+
+	for si := c.lo; si < c.hi; si++ {
+		sent := t.sents[si]
+		if len(sent) < 2 {
+			continue
+		}
+		nCtx := window
+		if nCtx > len(sent)-1 {
+			nCtx = len(sent) - 1
+		}
+		for ciPos, center := range sent {
+			lr := lr0 * (1 - float64(pos)*invTotal)
+			if lr < minLR {
+				lr = minLR
+			}
+			pos++
+			cIdx := int(center)
+			trainCenter := cIdx >= t.frozen
+			var cv []float32
+			if trainCenter {
+				cv = sh.in.row(t.vecs, cIdx, dim)
+			} else {
+				off := cIdx * dim
+				cv = t.vecs[off : off+dim : off+dim]
+			}
+			if trainCenter && t.frozen == 0 && t.opt.Negatives < f32.SGSlotMaxBatch {
+				t.centerSlots(sh, &rng, cv, sent, ciPos, nCtx, float32(lr))
+				continue
+			}
+			for k := 0; k < nCtx; k++ {
+				// Sample a context position != ciPos uniformly.
+				cj := rng.intn(len(sent) - 1)
+				if cj >= ciPos {
+					cj++
+				}
+				t.pair(sh, &rng, cv, trainCenter, int(sent[cj]), float32(lr))
+			}
+		}
+	}
+	pack(sh.in, t.vecs, dim, &slot.inRows, &slot.inVals)
+	pack(sh.out, t.ctx, dim, &slot.outRows, &slot.outVals)
+}
+
+// centerSlots runs every slot of one center position on the Train-only hot
+// path (no frozen rows, Negatives < SGSlotMaxBatch): for each sampled context
+// it presamples the slot's targets — resampling any draw that collides with
+// an already-accepted target, see Options.Negatives — and hands the whole
+// slot to the batched fused kernel. Deduplication makes every target row of a
+// slot distinct by construction, so SGSlotDistinct's up-front dots are exact.
+func (t *trainer) centerSlots(sh *shadow, rng *splitmix, cv []float32, sent []int32, ciPos, nCtx int, lr float32) {
+	dim := t.dim
+	grad := sh.grad
+	unigram := t.unigram
+	var ids [f32.SGSlotMaxBatch]int
+	for k := 0; k < nCtx; k++ {
+		// Sample a context position != ciPos uniformly.
+		cj := rng.intn(len(sent) - 1)
+		if cj >= ciPos {
+			cj++
+		}
+		ctx := int(sent[cj])
+		ids[0] = ctx
+		nt := 1
+		tvs := append(sh.tvs[:0], sh.out.row(t.ctx, ctx, dim))
+		for n := 1; n <= t.opt.Negatives; n++ {
+			// sampleNegative, manually inlined on this hot path.
+			accepted := false
+			var target int
+			for a := 0; a < negAttempts; a++ {
+				target = int(unigram[rng.intn(len(unigram))])
+				ok := true
+				for _, id := range ids[:nt] {
+					if id == target {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					accepted = true
+					break
+				}
+			}
+			if !accepted {
+				continue
+			}
+			ids[nt] = target
+			nt++
+			tvs = append(tvs, sh.out.row(t.ctx, target, dim))
+		}
+		sh.tvs = tvs
+		f32.SGSlotDistinct(lr, cv, grad, tvs)
+	}
+}
+
+// sampleNegative draws a negative target that collides with none of taken
+// (the positive context and the slot's already-accepted negatives), redrawing
+// on collision up to negAttempts draws. A degenerate unigram table (single-
+// token vocabulary) therefore skips the negative instead of spinning; see
+// Options.Negatives for the contract.
+func (t *trainer) sampleNegative(rng *splitmix, taken []int) (int, bool) {
+	for a := 0; a < negAttempts; a++ {
+		target := int(t.unigram[rng.intn(len(t.unigram))])
+		ok := true
+		for _, id := range taken {
+			if id == target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return target, true
+		}
+	}
+	return 0, false
+}
+
+// pair applies one positive update (center, ctx) plus exactly Negatives
+// negative updates (deduplicated by resampling, exactly as centerSlots does).
+// This is the general path — it handles freeze-boundary cases (FineTune) and
+// Negatives >= SGSlotMaxBatch. cv is the center's overlay row (or the frozen
+// shared row during a fine-tune); the gradient on the center accumulates in
+// sh.grad and lands once at the end, as in the classic word2vec C inner loop.
+func (t *trainer) pair(sh *shadow, rng *splitmix, cv []float32, trainCenter bool, ctx int, lr float32) {
+	dim := t.dim
+	grad := sh.grad
+	if trainCenter {
+		f32.Zero(grad)
+	}
+	ids := append(sh.ids[:0], ctx)
+	for n := 0; n <= t.opt.Negatives; n++ {
+		target := ctx
+		var label float32
+		if n == 0 {
+			label = 1
+		} else {
+			tg, ok := t.sampleNegative(rng, ids)
+			if !ok {
+				continue
+			}
+			target = tg
+			ids = append(ids, target)
+		}
+		trainTarget := target >= t.frozen
+		if !trainCenter && !trainTarget {
+			continue
+		}
+		var tv []float32
+		if trainTarget {
+			tv = sh.out.row(t.ctx, target, dim)
+		} else {
+			off := target * dim
+			tv = t.ctx[off : off+dim : off+dim]
+		}
+		if trainCenter && trainTarget {
+			// One fused kernel computes the logistic gradient and applies it —
+			// accumulating g*tv into grad (reading the pre-update tv, as the
+			// classic interleaved loop does) and g*cv into tv.
+			f32.SGPair(label, lr, cv, tv, grad)
+		} else {
+			g := (label - f32.Sigmoid32(f32.Dot32(cv, tv))) * lr
+			if trainCenter {
+				f32.Axpy(g, tv, grad)
+			} else {
+				f32.Axpy(g, cv, tv)
+			}
+		}
+	}
+	sh.ids = ids[:0]
+	if trainCenter {
+		f32.Add(cv, grad)
+	}
+}
+
+// absorb extends vocab/tokens/counts with the corpus (new tokens get dense
+// indices in first-appearance order) and returns the sentences re-encoded as
+// dense indices in one flat backing array. The training loop then indexes
+// the matrices directly — the one map lookup per token here replaces the old
+// lookup per sampled pair per epoch.
+func absorb(sentences [][]int32, vocab map[int32]int32, tokens *[]int32, counts *[]int64) [][]int32 {
+	total := 0
+	for _, s := range sentences {
+		total += len(s)
+	}
+	backing := make([]int32, total)
+	dense := make([][]int32, len(sentences))
+	off := 0
+	for si, s := range sentences {
+		d := backing[off : off+len(s) : off+len(s)]
+		off += len(s)
+		for i, tok := range s {
+			idx, ok := vocab[tok]
+			if !ok {
+				idx = int32(len(*tokens))
+				vocab[tok] = idx
+				*tokens = append(*tokens, tok)
+				*counts = append(*counts, 0)
+			}
+			(*counts)[idx]++
+			d[i] = idx
+		}
+		dense[si] = d
+	}
+	return dense
+}

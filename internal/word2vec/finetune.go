@@ -2,10 +2,6 @@ package word2vec
 
 import (
 	"math/rand"
-	"sync"
-	"sync/atomic"
-
-	"subtab/internal/f32"
 )
 
 // FineTune returns a model warm-started from m and adapted to a delta
@@ -23,14 +19,16 @@ import (
 // steady-state append costs nothing here.
 //
 // opt.Dim is ignored (the dimensionality is m's); Window, Negatives,
-// Epochs, LearningRate, Seed and Workers apply as in Train. As with Train,
-// Workers > 1 trains hogwild and is not bit-reproducible.
+// Epochs, LearningRate, Seed and Workers apply as in Train. Like Train,
+// FineTune runs the deterministic sharded-gradient schedule: the result is
+// byte-identical at any Workers setting.
 func (m *Model) FineTune(sentences [][]int32, opt Options) *Model {
 	opt = opt.withDefaults()
 	opt.Dim = m.dim
 
 	// Extend the vocabulary with the delta corpus's new tokens, in first
-	// appearance order, and count the delta corpus for negative sampling.
+	// appearance order, count the delta corpus for negative sampling, and
+	// re-encode it as dense indices in the same pass.
 	oldV := len(m.tokens)
 	vocab := make(map[int32]int32, oldV+8)
 	for tok, i := range m.vocab {
@@ -39,18 +37,7 @@ func (m *Model) FineTune(sentences [][]int32, opt Options) *Model {
 	tokens := make([]int32, oldV, oldV+8)
 	copy(tokens, m.tokens)
 	counts := make([]int64, oldV, oldV+8)
-	totalTokens := 0
-	for _, s := range sentences {
-		totalTokens += len(s)
-		for _, tok := range s {
-			if _, ok := vocab[tok]; !ok {
-				vocab[tok] = int32(len(tokens))
-				tokens = append(tokens, tok)
-				counts = append(counts, 0)
-			}
-			counts[vocab[tok]]++
-		}
-	}
+	dense := absorb(sentences, vocab, &tokens, &counts)
 	v := len(tokens)
 	if v == oldV {
 		return m
@@ -66,106 +53,15 @@ func (m *Model) FineTune(sentences [][]int32, opt Options) *Model {
 		nm.vecs[i] = (rng.Float32() - 0.5) / float32(m.dim)
 	}
 
-	unigram := buildUnigram(counts)
-	totalCenters := int64(totalTokens) * int64(opt.Epochs)
-	if totalCenters == 0 {
-		totalCenters = 1
+	chunks, epochCenters := buildChunks(dense)
+	t := &trainer{
+		dim: m.dim, vecs: nm.vecs, ctx: nm.ctx,
+		sents: dense, chunks: chunks,
+		epochCenters: epochCenters,
+		total:        epochCenters * int64(opt.Epochs),
+		unigram:      buildUnigram(counts),
+		opt:          opt, frozen: oldV, rows: v,
 	}
-	var processed atomic.Int64
-
-	workers := opt.Workers
-	if workers > len(sentences) && len(sentences) > 0 {
-		workers = len(sentences)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	minLR := opt.LearningRate / 100
-	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				wrng := rand.New(rand.NewSource(opt.Seed ^ int64(epoch*8191+w*131071+1)))
-				grad := make([]float32, opt.Dim)
-				for si := w; si < len(sentences); si += workers {
-					sent := sentences[si]
-					if len(sent) < 2 {
-						processed.Add(int64(len(sent)))
-						continue
-					}
-					for ci, center := range sent {
-						done := processed.Add(1)
-						lr := opt.LearningRate * (1 - float64(done)/float64(totalCenters))
-						if lr < minLR {
-							lr = minLR
-						}
-						cIdx := nm.vocab[center]
-						nCtx := opt.Window
-						if nCtx > len(sent)-1 {
-							nCtx = len(sent) - 1
-						}
-						for k := 0; k < nCtx; k++ {
-							cj := wrng.Intn(len(sent) - 1)
-							if cj >= ci {
-								cj++
-							}
-							ctxIdx := nm.vocab[sent[cj]]
-							fineTunePair(nm.vecs, nm.ctx, int(cIdx), int(ctxIdx), oldV, opt, unigram, wrng, grad, float32(lr))
-						}
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
+	t.run()
 	return nm
-}
-
-// fineTunePair is trainPair with a freeze boundary: rows below frozenBelow
-// (the pre-existing vocabulary) are read — as context, as anchors, as
-// negative samples — but never written. The gradient arithmetic is
-// trainPair's, so a boundary of 0 would reproduce Train's updates exactly.
-func fineTunePair(in, out []float32, center, ctx, frozenBelow int, opt Options, unigram []int32, rng *rand.Rand, grad []float32, lr float32) {
-	dim := opt.Dim
-	ci := center * dim
-	cv := in[ci : ci+dim]
-	trainCenter := center >= frozenBelow
-	if trainCenter {
-		for i := range grad {
-			grad[i] = 0
-		}
-	}
-	for n := 0; n <= opt.Negatives; n++ {
-		var target int
-		var label float32
-		if n == 0 {
-			target = ctx
-			label = 1
-		} else {
-			target = int(unigram[rng.Intn(len(unigram))])
-			if target == ctx {
-				continue
-			}
-			label = 0
-		}
-		trainTarget := target >= frozenBelow
-		if !trainCenter && !trainTarget {
-			continue
-		}
-		ti := target * dim
-		tv := out[ti : ti+dim]
-		g := (label - sigmoid(f32.Dot32(cv, tv))) * lr
-		if trainCenter {
-			f32.Axpy(g, tv, grad)
-		}
-		if trainTarget {
-			f32.Axpy(g, cv, tv)
-		}
-	}
-	if trainCenter {
-		f32.Add(cv, grad)
-	}
 }

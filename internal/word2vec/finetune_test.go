@@ -10,12 +10,12 @@ func trainSmall(t *testing.T) *Model {
 		{0, 1, 2}, {0, 1, 3}, {2, 3, 0}, {1, 2, 3},
 		{0, 2, 1}, {3, 1, 0}, {2, 0, 3}, {1, 3, 2},
 	}
-	return Train(sents, Options{Dim: 8, Epochs: 3, Seed: 7, Workers: 1})
+	return Train(sents, Options{Dim: 8, Epochs: 3, Seed: 7})
 }
 
 func TestFineTuneNoNewTokensReturnsSameModel(t *testing.T) {
 	m := trainSmall(t)
-	ft := m.FineTune([][]int32{{0, 1, 2}, {3, 0, 1}}, Options{Epochs: 2, Seed: 7, Workers: 1})
+	ft := m.FineTune([][]int32{{0, 1, 2}, {3, 0, 1}}, Options{Epochs: 2, Seed: 7})
 	if ft != m {
 		t.Fatal("fine-tune without new tokens must return the model unchanged")
 	}
@@ -27,7 +27,7 @@ func TestFineTuneFreezesOldVectors(t *testing.T) {
 	beforeCtx := append([]float32(nil), m.ContextData()...)
 
 	// Token 9 is new; it appears alongside old tokens.
-	ft := m.FineTune([][]int32{{9, 0, 1}, {2, 9, 3}, {9, 1, 0}}, Options{Epochs: 3, Seed: 11, Workers: 1})
+	ft := m.FineTune([][]int32{{9, 0, 1}, {2, 9, 3}, {9, 1, 0}}, Options{Epochs: 3, Seed: 11})
 	if ft == m {
 		t.Fatal("fine-tune with a new token returned the same model")
 	}
@@ -84,7 +84,7 @@ func TestFineTuneFreezesOldVectors(t *testing.T) {
 func TestFineTuneDeterministicSingleWorker(t *testing.T) {
 	m := trainSmall(t)
 	sents := [][]int32{{5, 0, 1}, {5, 2, 3}, {0, 5, 1}}
-	opt := Options{Epochs: 2, Seed: 13, Workers: 1}
+	opt := Options{Epochs: 2, Seed: 13}
 	a := m.FineTune(sents, opt)
 	b := m.FineTune(sents, opt)
 	for i := range a.VectorData() {
@@ -95,8 +95,8 @@ func TestFineTuneDeterministicSingleWorker(t *testing.T) {
 }
 
 func TestFineTuneEmptyModel(t *testing.T) {
-	m := Train(nil, Options{Dim: 8, Seed: 1, Workers: 1})
-	ft := m.FineTune([][]int32{{1, 2}, {2, 3}}, Options{Epochs: 2, Seed: 3, Workers: 1})
+	m := Train(nil, Options{Dim: 8, Seed: 1})
+	ft := m.FineTune([][]int32{{1, 2}, {2, 3}}, Options{Epochs: 2, Seed: 3})
 	if ft.VocabSize() != 3 {
 		t.Fatalf("vocab = %d, want 3", ft.VocabSize())
 	}

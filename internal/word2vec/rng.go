@@ -1,0 +1,42 @@
+package word2vec
+
+// splitmix is the pseudo-random stream behind the deterministic trainer: one
+// independent stream per (seed, epoch, chunk), advanced only by that chunk's
+// own draws. The generator (splitmix64, Steele et al. 2014) and the bounded
+// reduction below are part of the determinism contract — a chunk's draw
+// sequence is a pure function of its stream seed, never of worker count,
+// scheduling, or any global counter.
+//
+// It is also much cheaper than math/rand's rngSource: the training inner
+// loop draws ~25 values per center position (context positions plus negative
+// samples), so generator cost is a first-order term of the preprocess cold
+// path.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n) for 0 < n <= 1<<32 via the multiply-high
+// reduction on the top 32 bits. The map is negligibly biased (< n/2^32 —
+// immaterial for sentence positions and unigram-table draws) but exact and
+// fixed, which is what the bit-reproducibility contract needs.
+func (r *splitmix) intn(n int) int {
+	return int((r.next() >> 32) * uint64(n) >> 32)
+}
+
+// chunkRNG derives the stream for one (epoch, chunk) cell of a training run.
+// The three inputs are folded with distinct odd multipliers and passed
+// through one splitmix step so adjacent cells land in unrelated regions of
+// the state space.
+func chunkRNG(seed int64, epoch, chunk int) splitmix {
+	r := splitmix{uint64(seed) ^
+		uint64(epoch+1)*0xa0761d6478bd642f ^
+		uint64(chunk+1)*0xe7037ed1a0b428db}
+	r.s = r.next()
+	return r
+}

@@ -16,8 +16,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"subtab/internal/f32"
 )
@@ -31,7 +29,12 @@ type Options struct {
 	// Algorithm 2; Window only bounds the per-center sample.
 	Window int
 	// Negatives is the number of negative samples per positive pair
-	// (default 4).
+	// (default 4). Every pair gets exactly this many negative updates, and
+	// they are pairwise distinct: a draw that collides with the positive
+	// context or with an already-accepted negative of the same slot is
+	// resampled (bounded, so a degenerate vocabulary with fewer tokens than
+	// slots skips the unfillable negatives rather than spinning), not
+	// silently dropped.
 	Negatives int
 	// Epochs is the number of passes over the corpus (default 3).
 	Epochs int
@@ -41,8 +44,11 @@ type Options struct {
 	// Seed drives initialization and sampling.
 	Seed int64
 	// Workers is the number of parallel training goroutines (default
-	// runtime.NumCPU()). Training with Workers > 1 is lock-free (hogwild)
-	// and therefore not bit-reproducible; use Workers = 1 for determinism.
+	// runtime.NumCPU()). Training is deterministic at ANY worker count:
+	// the sharded-gradient schedule (see engine.go) makes the trained
+	// vectors a pure function of (corpus, Options), byte-identical whether
+	// the chunks run serially or fanned out. Workers only trades wall-clock
+	// time; effective parallelism is capped at the engine's round size.
 	Workers int
 }
 
@@ -199,55 +205,28 @@ func (m *Model) Similarity(a, b int32) float64 {
 func Cosine(a, b []float32) float64 { return f32.Cosine(a, b) }
 
 const (
-	sigTableSize = 1024
-	sigMax       = 6.0
-	unigramSize  = 1 << 20
+	// unigramMax caps the negative-sampling table; unigramPerToken sets its
+	// granularity. Sizing the table to the vocabulary (instead of a flat
+	// 2^20 entries) keeps it cache-resident: the training loop hits it with
+	// Negatives uniform random reads per pair, and on tabular vocabularies
+	// (a few thousand (column,bin) items) those reads were the single
+	// largest source of cache misses in the old trainer.
+	unigramMax      = 1 << 20
+	unigramPerToken = 8
 )
 
-// sigTable is a precomputed logistic table over [-sigMax, sigMax].
-var sigTable = func() [sigTableSize]float32 {
-	var t [sigTableSize]float32
-	for i := range t {
-		x := (float64(i)/sigTableSize*2 - 1) * sigMax
-		t[i] = float32(1 / (1 + math.Exp(-x)))
-	}
-	return t
-}()
-
-func sigmoid(x float32) float32 {
-	if x >= sigMax {
-		return 1
-	}
-	if x <= -sigMax {
-		return 0
-	}
-	i := int((x + sigMax) / (2 * sigMax) * sigTableSize)
-	if i >= sigTableSize {
-		i = sigTableSize - 1
-	}
-	return sigTable[i]
-}
-
 // Train learns token embeddings from the corpus. Sentences are slices of
-// token ids; empty sentences are skipped.
+// token ids; sentences shorter than 2 tokens contribute vocabulary but no
+// training pairs. The trained vectors are a pure function of (sentences,
+// opt): the deterministic sharded-gradient engine (engine.go) produces
+// byte-identical output at any Workers setting.
 func Train(sentences [][]int32, opt Options) *Model {
 	opt = opt.withDefaults()
 	m := &Model{dim: opt.Dim, vocab: make(map[int32]int32)}
 
-	// Vocabulary and counts.
+	// Vocabulary, counts, and dense-index re-encoding in one pass.
 	var counts []int64
-	totalTokens := 0
-	for _, s := range sentences {
-		totalTokens += len(s)
-		for _, tok := range s {
-			if _, ok := m.vocab[tok]; !ok {
-				m.vocab[tok] = int32(len(m.tokens))
-				m.tokens = append(m.tokens, tok)
-				counts = append(counts, 0)
-			}
-			counts[m.vocab[tok]]++
-		}
-	}
+	dense := absorb(sentences, m.vocab, &m.tokens, &counts)
 	v := len(m.tokens)
 	if v == 0 {
 		return m
@@ -256,110 +235,30 @@ func Train(sentences [][]int32, opt Options) *Model {
 	// Init: input vectors uniform in [-0.5/dim, 0.5/dim), output vectors 0.
 	rng := rand.New(rand.NewSource(opt.Seed))
 	m.vecs = make([]float32, v*opt.Dim)
-	out := make([]float32, v*opt.Dim)
-	m.ctx = out
+	m.ctx = make([]float32, v*opt.Dim)
 	for i := range m.vecs {
 		m.vecs[i] = (rng.Float32() - 0.5) / float32(opt.Dim)
 	}
 
-	// Unigram table for negative sampling, powered by counts^0.75.
-	unigram := buildUnigram(counts)
-
-	// Approximate total number of center positions for LR decay.
-	totalCenters := int64(totalTokens) * int64(opt.Epochs)
-	if totalCenters == 0 {
-		totalCenters = 1
+	chunks, epochCenters := buildChunks(dense)
+	t := &trainer{
+		dim: opt.Dim, vecs: m.vecs, ctx: m.ctx,
+		sents: dense, chunks: chunks,
+		epochCenters: epochCenters,
+		total:        epochCenters * int64(opt.Epochs),
+		unigram:      buildUnigram(counts),
+		opt:          opt, frozen: 0, rows: v,
 	}
-	var processed atomic.Int64
-
-	workers := opt.Workers
-	if workers > len(sentences) && len(sentences) > 0 {
-		workers = len(sentences)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	minLR := opt.LearningRate / 100
-	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				wrng := rand.New(rand.NewSource(opt.Seed ^ int64(epoch*8191+w*131071+1)))
-				grad := make([]float32, opt.Dim)
-				for si := w; si < len(sentences); si += workers {
-					sent := sentences[si]
-					if len(sent) < 2 {
-						processed.Add(int64(len(sent)))
-						continue
-					}
-					for ci, center := range sent {
-						done := processed.Add(1)
-						lr := opt.LearningRate * (1 - float64(done)/float64(totalCenters))
-						if lr < minLR {
-							lr = minLR
-						}
-						cIdx := m.vocab[center]
-						nCtx := opt.Window
-						if nCtx > len(sent)-1 {
-							nCtx = len(sent) - 1
-						}
-						for k := 0; k < nCtx; k++ {
-							// Sample a context position != ci uniformly.
-							cj := wrng.Intn(len(sent) - 1)
-							if cj >= ci {
-								cj++
-							}
-							ctxIdx := m.vocab[sent[cj]]
-							trainPair(m.vecs, out, int(cIdx), int(ctxIdx), opt, unigram, wrng, grad, float32(lr))
-						}
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
+	t.run()
 	return m
 }
 
-// trainPair applies one positive update (center, ctx) plus Negatives
-// negative updates, writing gradients into the shared matrices (hogwild).
-func trainPair(in, out []float32, center, ctx int, opt Options, unigram []int32, rng *rand.Rand, grad []float32, lr float32) {
-	dim := opt.Dim
-	ci := center * dim
-	cv := in[ci : ci+dim]
-	for i := range grad {
-		grad[i] = 0
-	}
-	for n := 0; n <= opt.Negatives; n++ {
-		var target int
-		var label float32
-		if n == 0 {
-			target = ctx
-			label = 1
-		} else {
-			target = int(unigram[rng.Intn(len(unigram))])
-			if target == ctx {
-				continue
-			}
-			label = 0
-		}
-		ti := target * dim
-		tv := out[ti : ti+dim]
-		g := (label - sigmoid(f32.Dot32(cv, tv))) * lr
-		// grad must accumulate the pre-update context vector: Axpy(g, tv,
-		// grad) reads tv before Axpy(g, cv, tv) writes it, matching the
-		// interleaved scalar loop this replaced bit for bit.
-		f32.Axpy(g, tv, grad)
-		f32.Axpy(g, cv, tv)
-	}
-	f32.Add(cv, grad)
-}
-
-// buildUnigram builds the negative-sampling table: token indices appear
-// proportionally to count^0.75.
+// buildUnigram builds the negative-sampling table: dense token indices
+// appear proportionally to count^0.75 (zero-count tokens — FineTune's
+// pre-existing vocabulary — still get one slot each, so they participate as
+// negatives). The table is sized to the vocabulary, unigramPerToken entries
+// per token up to unigramMax, so it stays cache-resident under the training
+// loop's random reads.
 func buildUnigram(counts []int64) []int32 {
 	total := 0.0
 	pows := make([]float64, len(counts))
@@ -367,7 +266,10 @@ func buildUnigram(counts []int64) []int32 {
 		pows[i] = math.Pow(float64(c), 0.75)
 		total += pows[i]
 	}
-	size := unigramSize
+	size := len(counts) * unigramPerToken
+	if size > unigramMax {
+		size = unigramMax
+	}
 	if size < len(counts) {
 		size = len(counts)
 	}

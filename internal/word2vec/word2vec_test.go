@@ -7,7 +7,7 @@ import (
 )
 
 func TestEmptyCorpus(t *testing.T) {
-	m := Train(nil, Options{Seed: 1, Workers: 1})
+	m := Train(nil, Options{Seed: 1})
 	if m.VocabSize() != 0 {
 		t.Fatalf("vocab = %d", m.VocabSize())
 	}
@@ -21,7 +21,7 @@ func TestEmptyCorpus(t *testing.T) {
 
 func TestVocabAndVectors(t *testing.T) {
 	sents := [][]int32{{1, 2, 3}, {2, 3, 4}}
-	m := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 1, Workers: 1})
+	m := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 1})
 	if m.VocabSize() != 4 {
 		t.Fatalf("vocab = %d, want 4", m.VocabSize())
 	}
@@ -59,25 +59,6 @@ func TestCosine(t *testing.T) {
 	}
 	if got := Cosine(a, z); got != 0 {
 		t.Fatalf("cos with zero vector = %v", got)
-	}
-}
-
-func TestSigmoidTable(t *testing.T) {
-	cases := []struct {
-		x    float32
-		want float64
-		tol  float64
-	}{
-		{0, 0.5, 0.01},
-		{10, 1, 1e-9},
-		{-10, 0, 1e-9},
-		{2, 1 / (1 + math.Exp(-2)), 0.01},
-		{-2, 1 / (1 + math.Exp(2)), 0.01},
-	}
-	for _, c := range cases {
-		if got := float64(sigmoid(c.x)); math.Abs(got-c.want) > c.tol {
-			t.Errorf("sigmoid(%v) = %v, want %v", c.x, got, c.want)
-		}
 	}
 }
 
@@ -125,7 +106,7 @@ func planted(nSent int, seed int64) [][]int32 {
 
 func TestSharedContextDrivesSimilarity(t *testing.T) {
 	sents := planted(6000, 7)
-	m := Train(sents, Options{Dim: 16, Epochs: 8, Window: 3, Seed: 7, Workers: 1})
+	m := Train(sents, Options{Dim: 16, Epochs: 8, Window: 3, Seed: 7})
 	simPair := m.Similarity(0, 1)
 	simCross := m.Similarity(0, 2)
 	if simPair <= simCross {
@@ -138,8 +119,8 @@ func TestSharedContextDrivesSimilarity(t *testing.T) {
 
 func TestDeterministicWithOneWorker(t *testing.T) {
 	sents := planted(300, 3)
-	m1 := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 42, Workers: 1})
-	m2 := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 42, Workers: 1})
+	m1 := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 42})
+	m2 := Train(sents, Options{Dim: 8, Epochs: 2, Seed: 42})
 	for _, tok := range []int32{0, 1, 2} {
 		v1, v2 := m1.Vector(tok), m2.Vector(tok)
 		for i := range v1 {
@@ -152,8 +133,8 @@ func TestDeterministicWithOneWorker(t *testing.T) {
 
 func TestDifferentSeedsDiffer(t *testing.T) {
 	sents := planted(300, 3)
-	m1 := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 1, Workers: 1})
-	m2 := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 2, Workers: 1})
+	m1 := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 1})
+	m2 := Train(sents, Options{Dim: 8, Epochs: 1, Seed: 2})
 	same := true
 	v1, v2 := m1.Vector(0), m2.Vector(0)
 	for i := range v1 {
@@ -172,7 +153,7 @@ func TestParallelTrainingRuns(t *testing.T) {
 	if m.VocabSize() == 0 {
 		t.Fatal("parallel training produced empty model")
 	}
-	// The planted signal should survive hogwild updates.
+	// The planted signal should survive parallel (sharded-gradient) training.
 	if pair, cross := m.Similarity(0, 1), m.Similarity(0, 2); pair <= cross {
 		t.Fatalf("parallel training lost signal: pair %v <= cross %v", pair, cross)
 	}
@@ -180,7 +161,7 @@ func TestParallelTrainingRuns(t *testing.T) {
 
 func TestSingleTokenSentencesSkipped(t *testing.T) {
 	sents := [][]int32{{1}, {2}, {1, 2}}
-	m := Train(sents, Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1})
+	m := Train(sents, Options{Dim: 4, Epochs: 1, Seed: 1})
 	if m.VocabSize() != 2 {
 		t.Fatalf("vocab = %d", m.VocabSize())
 	}
@@ -188,7 +169,7 @@ func TestSingleTokenSentencesSkipped(t *testing.T) {
 
 func TestVectorAliasStability(t *testing.T) {
 	sents := [][]int32{{1, 2}, {2, 3}}
-	m := Train(sents, Options{Dim: 4, Epochs: 1, Seed: 1, Workers: 1})
+	m := Train(sents, Options{Dim: 4, Epochs: 1, Seed: 1})
 	v1 := m.Vector(1)
 	v2 := m.Vector(1)
 	if &v1[0] != &v2[0] {

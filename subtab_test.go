@@ -18,7 +18,7 @@ func TestPublicAPIPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := subtab.DefaultOptions()
-	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 1, Workers: 1}
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 1}
 	model, err := subtab.Preprocess(ds.T, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestPublicAPISaveLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := subtab.DefaultOptions()
-	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 2, Workers: 1}
+	opt.Embedding = subtab.EmbeddingOptions{Dim: 16, Epochs: 2, Seed: 2}
 	model, err := subtab.Preprocess(ds.T, opt)
 	if err != nil {
 		t.Fatal(err)
