@@ -6,8 +6,8 @@
 // so successive PRs can record before/after numbers measured by the exact
 // same harness:
 //
-//	subtab-bench -label baseline -out BENCH_PR6.json   # before a change
-//	subtab-bench -label current  -out BENCH_PR6.json   # after
+//	subtab-bench -label baseline -out BENCH_PR8.json   # before a change
+//	subtab-bench -label current  -out BENCH_PR8.json   # after
 //
 // The -suite flag picks what runs: "core" is the historical set over the
 // 3000-row FL table, "large" is the Fig9SelectLarge set (exact-path 100k
@@ -16,8 +16,10 @@
 // over an mmap'd code store, with and without slab spilling, on a table
 // larger than the configured memory budget), "shard" is the sharded
 // scatter/gather set (scaled selection fanned out across 4 shard stores,
-// the number to compare against OOCoreSelect/1M), "preprocess" is the
-// cold-path set (the Fig. 9 preprocess plus its stages in isolation —
+// the number to compare against OOCoreSelect/1M), "colstore" is the paged
+// raw-column set (rendering a display-sized view from the mmap'd column
+// store vs from inline column arrays, on a 1M-row table), "preprocess" is
+// the cold-path set (the Fig. 9 preprocess plus its stages in isolation —
 // binning+corpus, and embedding training at full parallelism and pinned to
 // one worker), "all" runs everything.
 //
@@ -44,11 +46,13 @@ import (
 	"subtab"
 	"subtab/internal/binning"
 	"subtab/internal/cluster"
+	"subtab/internal/colstore"
 	"subtab/internal/corpus"
 	"subtab/internal/datagen"
 	"subtab/internal/f32"
 	"subtab/internal/modelio"
 	"subtab/internal/serve"
+	"subtab/internal/table"
 	"subtab/internal/word2vec"
 )
 
@@ -84,9 +88,9 @@ func main() {
 	// forwarded to the harness testing.Benchmark reads it from.
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH_PR6.json", "JSON file to merge results into")
+		out       = flag.String("out", "BENCH_PR8.json", "JSON file to merge results into")
 		label     = flag.String("label", "current", "label to record results under")
-		suite     = flag.String("suite", "all", "benchmark suite: core, large, oocore, shard, or all")
+		suite     = flag.String("suite", "all", "benchmark suite: core, large, oocore, shard, colstore, preprocess, or all")
 		benchtime = flag.String("benchtime", "", `passed to the testing harness, e.g. "1x" or "2s" (empty = the 1s default)`)
 	)
 	flag.Parse()
@@ -118,6 +122,8 @@ func main() {
 		runOOCoreSuite(run)
 	case "shard":
 		runShardSuite(run)
+	case "colstore":
+		runColStoreSuite(run)
 	case "preprocess":
 		runPreprocessSuite(run)
 	case "all":
@@ -125,9 +131,10 @@ func main() {
 		runLargeSuite(run)
 		runOOCoreSuite(run)
 		runShardSuite(run)
+		runColStoreSuite(run)
 		runPreprocessSuite(run)
 	default:
-		log.Fatalf("unknown -suite %q: want core, large, oocore, shard, preprocess or all", *suite)
+		log.Fatalf("unknown -suite %q: want core, large, oocore, shard, colstore, preprocess or all", *suite)
 	}
 
 	merged := map[string]map[string]entry{}
@@ -453,6 +460,70 @@ func runShardSuite(run func(name string, fn func(b *testing.B))) {
 			if _, err := m.SelectWith(nil, 10, 10, nil, scale); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// runColStoreSuite measures what paging the raw columns costs at render
+// time: the same display-sized view (10 rows x 10 cols, rows strided so
+// each lands in a different block — the paged path's worst case), built
+// from inline column arrays vs gathered from the mmap'd column store. No
+// model is needed; rendering is a pure table/colstore operation, which is
+// the point — a server can shed a 1M-row table's cell residency and still
+// answer view renders at interactive latency.
+func runColStoreSuite(run func(name string, fn func(b *testing.B))) {
+	const rows = 1_000_000
+	ds, err := datagen.ByName("FL", rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := ds.T
+	dir, err := os.MkdirTemp("", "subtab-bench-colstore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "fl1m.cols")
+	if err := colstore.WriteTable(path, tbl, 0); err != nil {
+		log.Fatal(err)
+	}
+	st, err := colstore.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	log.Printf("column store: %d blocks of %d rows, mmap=%v", st.NumBlocks(), st.BlockRows(), st.Mapped())
+
+	const k, l = 10, 10
+	viewRows := make([]int, k)
+	for i := range viewRows {
+		viewRows[i] = i*(rows/k) + i*137
+	}
+	colIdx := make([]int, l)
+	names := make([]string, l)
+	for i, name := range tbl.ColumnNames()[:l] {
+		colIdx[i] = i
+		names[i] = name
+	}
+
+	run("InlineRender/1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := tbl.SubTableView(viewRows, names)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v.Render(nil)
+		}
+	})
+	run("ColStoreRender/1M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := table.GatherView(st, tbl.Name, viewRows, colIdx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v.Render(nil)
 		}
 	})
 }

@@ -163,6 +163,9 @@ func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, tim
 		// missing shards from peers.
 		sopt.AllowMissingShards = true
 	}
+	// The PrepareModel hook closes over the store it is installed into: it
+	// only runs on disk loads, which cannot happen before NewStore returns.
+	var store *serve.Store
 	if shardOpt.role == "coordinator" {
 		peers := shardOpt.peers
 		sopt.PrepareModel = func(name string, m *subtab.Model) error {
@@ -170,7 +173,14 @@ func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, tim
 			if src == nil || src.Complete() {
 				return nil
 			}
-			sampler, err := serve.NewShardSampler(name, m, serve.ShardPeersOptions{Peers: peers})
+			popt := serve.ShardPeersOptions{
+				Peers: peers,
+				// Key the sampler's cross-request caches to the table's
+				// replacement generation, so replacing a sharded table
+				// invalidates samples gathered against its predecessor.
+				Generation: func() uint64 { return store.Generation(name) },
+			}
+			sampler, err := serve.NewShardSampler(name, m, popt)
 			if err != nil {
 				return err
 			}
@@ -179,7 +189,7 @@ func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, tim
 			return nil
 		}
 	}
-	store := serve.NewStore(sopt)
+	store = serve.NewStore(sopt)
 	svc := serve.NewService(store, opt)
 	if shardOpt.role != "" {
 		log.Printf("shard role: %s (peers: %s)", shardOpt.role, strings.Join(shardOpt.peers, ", "))

@@ -1,0 +1,231 @@
+package subtab_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subtab"
+	"subtab/internal/core"
+	"subtab/internal/serve"
+)
+
+// TestGoldenFingerprintsPagedColumns pins the paged raw-column path against
+// the *existing* golden files: a model whose displayed columns were exported
+// to an mmap'd column store (inline cells dropped, views gathered block by
+// block) must reproduce the exact-path fingerprints byte for byte, and —
+// with the bin codes paged out too, the full out-of-core shape — the
+// large-mode fingerprints. This test never records: it reuses the files the
+// in-memory golden tests own, so a divergence in the paged render path
+// cannot hide behind a re-recording.
+func TestGoldenFingerprintsPagedColumns(t *testing.T) {
+	scale := &subtab.ScaleOptions{Threshold: 1, SampleBudget: 256, BatchSize: 128, MaxIter: 50}
+	for _, name := range []string{"FL", "SP", "CY"} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// Paged columns alone, exact selection path.
+			model := goldenModel(t, name, goldenConfig())
+			cols, err := model.UseColumnStoreFile(filepath.Join(dir, name+".cols"), 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cols.Close()
+			if !model.CellsPaged() {
+				t.Fatal("inline cells were not dropped")
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".fingerprint"))
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+			}
+			if got := goldenSelections(t, model, name, nil); got != string(want) {
+				t.Errorf("paged-column exact selection diverged from the recorded golden for %s.\n"+
+					"Views gathered from the column store must be byte-identical to SubTableView.\n got:\n%s\nwant:\n%s", name, got, want)
+			}
+
+			// Codes and columns both paged (the serving layer's out-of-core
+			// shape), scaled selection path.
+			ooc := goldenModel(t, name, goldenConfig())
+			cs, err := ooc.UseCodeStoreFile(filepath.Join(dir, name+".codes"), 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cs.Close()
+			ocols, err := ooc.UseColumnStoreFile(filepath.Join(dir, name+".ooc.cols"), 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ocols.Close()
+			wantLarge, err := os.ReadFile(filepath.Join("testdata", "golden", name+".large.fingerprint"))
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+			}
+			if got := goldenSelections(t, ooc, name, scale); got != string(wantLarge) {
+				t.Errorf("fully paged scaled selection diverged from the recorded large-mode golden for %s.\n got:\n%s\nwant:\n%s", name, got, wantLarge)
+			}
+		})
+	}
+}
+
+// TestGoldenLargeModeFingerprintsShardedColumns pins the sharded column
+// path locally: codes and raw columns both split three ways at the same row
+// cuts (800 rows at 96 rows/block keeps every cut off block alignment), so
+// view assembly gathers across shard-local stores. Never-recording.
+func TestGoldenLargeModeFingerprintsShardedColumns(t *testing.T) {
+	scale := &subtab.ScaleOptions{Threshold: 1, SampleBudget: 256, BatchSize: 128, MaxIter: 50}
+	for _, name := range []string{"FL", "SP", "CY"} {
+		t.Run(name, func(t *testing.T) {
+			model := goldenModel(t, name, goldenConfig())
+			dir := t.TempDir()
+			paths := make([]string, 3)
+			colPaths := make([]string, 3)
+			for i := range paths {
+				paths[i] = filepath.Join(dir, fmt.Sprintf("%s.codes.%03d", name, i))
+				colPaths[i] = filepath.Join(dir, fmt.Sprintf("%s.cols.%03d", name, i))
+			}
+			src, err := model.UseShardedStores(paths, 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			cells, err := model.UseShardedColumnStores(colPaths, 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cells.Close()
+			if !model.CellsPaged() {
+				t.Fatal("inline cells were not dropped")
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".large.fingerprint"))
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+			}
+			if got := goldenSelections(t, model, name, scale); got != string(want) {
+				t.Errorf("sharded-column scaled selection diverged from the recorded large-mode golden for %s.\n got:\n%s\nwant:\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenPagedModelRoundTrip extends the golden guarantee across
+// persistence: saving a model whose codes and raw columns are both external
+// (modelio v7 schema husk + column-store reference) and loading it back must
+// still reproduce the recorded fingerprints.
+func TestGoldenPagedModelRoundTrip(t *testing.T) {
+	scale := &subtab.ScaleOptions{Threshold: 1, SampleBudget: 256, BatchSize: 128, MaxIter: 50}
+	dir := t.TempDir()
+	model := goldenModel(t, "FL", goldenConfig())
+	cs, err := model.UseCodeStoreFile(filepath.Join(dir, "fl.codes"), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	cols, err := model.UseColumnStoreFile(filepath.Join(dir, "fl.cols"), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cols.Close()
+	if err := subtab.SaveModelFile(filepath.Join(dir, "fl.subtab"), model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := subtab.LoadModelFile(filepath.Join(dir, "fl.subtab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.CellsPaged() {
+		t.Fatal("reloaded model should keep its cells paged")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "FL.large.fingerprint"))
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+	}
+	if got := goldenSelections(t, loaded, "FL", scale); got != string(want) {
+		t.Errorf("reloaded paged model diverged from the recorded large-mode golden.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenShardedColumnsHTTPCoordinator lifts shard-local rendering over
+// the wire: the coordinator owns shard 0's code and column files, the worker
+// owns shards 1 and 2 — so the coordinator renders a selection by fetching
+// remote rows' cells from the worker (POST /shards/{name}/{idx}/cells). The
+// result must match the recorded large-mode fingerprints byte for byte.
+func TestGoldenShardedColumnsHTTPCoordinator(t *testing.T) {
+	const name = "FL"
+	scale := &subtab.ScaleOptions{Threshold: 1, SampleBudget: 256, BatchSize: 128, MaxIter: 50}
+	ds, err := subtab.GenerateDataset(name, 800, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordDir, workerDir := t.TempDir(), t.TempDir()
+	opts := goldenConfig()
+
+	build := serve.NewService(serve.NewStore(serve.StoreOptions{Dir: coordDir}), opts)
+	if _, err := build.AddTableSharded(name, ds.T, nil, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	// Hand shards 1 and 2 — code files AND column files — plus a copy of the
+	// model file to the worker's cache dir; the coordinator keeps shard 0.
+	models, err := filepath.Glob(filepath.Join(coordDir, "*.subtab"))
+	if err != nil || len(models) != 1 {
+		t.Fatalf("model file glob: %v %v", models, err)
+	}
+	raw, err := os.ReadFile(models[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(workerDir, filepath.Base(models[0])), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := build.Store().ShardPaths(name, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colPaths, err := build.Store().ColumnShardPaths(name, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2} {
+		for _, p := range []string{paths[i], colPaths[i]} {
+			if err := os.Rename(p, filepath.Join(workerDir, filepath.Base(p))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	worker := serve.NewService(serve.NewStore(serve.StoreOptions{Dir: workerDir, AllowMissingShards: true}), opts)
+	srv := httptest.NewServer(serve.NewHandler(worker, nil))
+	defer srv.Close()
+
+	coord := serve.NewService(serve.NewStore(serve.StoreOptions{
+		Dir:                coordDir,
+		AllowMissingShards: true,
+		PrepareModel: func(n string, m *core.Model) error {
+			if m.ShardSource() == nil || m.ShardSource().Complete() {
+				return nil
+			}
+			sampler, err := serve.NewShardSampler(n, m, serve.ShardPeersOptions{Peers: []string{srv.URL}})
+			if err != nil {
+				return err
+			}
+			m.SetShardSampler(sampler)
+			return nil
+		},
+	}), opts)
+	model, err := coord.Model(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := model.ShardCells(); sc == nil || sc.Complete() {
+		t.Fatal("coordinator should hold a partial column shard source")
+	}
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".large.fingerprint"))
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update`): %v", err)
+	}
+	if got := goldenSelections(t, model, name, scale); got != string(want) {
+		t.Errorf("HTTP shard-local rendering diverged from the recorded large-mode golden.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -139,7 +139,19 @@ func (m *Model) Append(rows *table.Table, opt AppendOptions) (*Model, AppendStat
 		return m, stats, nil
 	}
 	stats.AppendedRows = rows.NumRows()
-	newT, err := m.T.AppendRows(rows)
+	// A paged table is a schema husk; appending needs the old cells back, so
+	// materialize a private resident copy first (the serving layer re-pages
+	// the result). The binning below also needs newT's appended cells, which
+	// the concatenated copy holds either way.
+	baseT := m.T
+	if !baseT.CellsResident() {
+		var err error
+		baseT, err = m.residentTable()
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: append: %w", err)
+		}
+	}
+	newT, err := baseT.AppendRows(rows)
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: append: %w", err)
 	}

@@ -131,6 +131,11 @@ type Model struct {
 	// SetShardSampler). Nil on every locally complete model.
 	shardSampler ShardSampler
 
+	// cellSrc, when set, supplies rendered cells for view assembly instead of
+	// the in-memory table — a paged column store (internal/colstore) or a
+	// coordinator's over-the-wire shard gatherer. See AttachColumnStore.
+	cellSrc table.CellSource
+
 	// fullVecs caches the tuple-vectors of every row over all columns
 	// (built lazily on the first selection that needs them). Full-table
 	// displays — the warm serving steady state — reuse the matrix directly,
@@ -418,7 +423,18 @@ func (m *Model) SelectWith(q *query.Query, k, l int, targets []string, scale *Sc
 		}
 		return m.selectFrom(rows, cols, k, l, targets, sc)
 	}
-	res, srcRows, err := q.Apply(m.T)
+	// Queries evaluate predicates over raw cells, which a paged table no
+	// longer holds; materialize a private resident copy for the evaluation
+	// (the whole-table-scan escape hatch, like binning.MaterializedCodes).
+	qt := m.T
+	if !qt.CellsResident() {
+		var err error
+		qt, err = m.residentTable()
+		if err != nil {
+			return nil, fmt.Errorf("core: applying query: %w", err)
+		}
+	}
+	res, srcRows, err := q.Apply(qt)
 	if err != nil {
 		return nil, fmt.Errorf("core: applying query: %w", err)
 	}
@@ -519,7 +535,11 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 		defer done()
 		rowSlab = slab
 		rowRes = m.scaledRowClustering(rowSlab, k, scale)
-	} else if identityCols(cols, m.T.NumCols()) {
+	} else if identityCols(cols, m.T.NumCols()) && !m.OutOfCore() {
+		// Store-backed models skip this branch: warming the n×dim full-table
+		// vector cache would resurrect the very footprint the code store
+		// exists to shed, so they gather per-request below instead (the
+		// gather computes bit-identical vectors; see gatherTupleVectors).
 		full := m.fullRowVectors()
 		if len(rows) == m.T.NumRows() && identityRows(rows) {
 			rowSlab = f32.WrapSlab(full)
@@ -583,7 +603,15 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 			st.Cols = append(st.Cols, m.T.ColumnAt(c).Name)
 		}
 	}
-	view, err := m.T.SubTableView(selRows, st.Cols)
+	var view *table.Table
+	var err error
+	if m.cellSrc != nil {
+		// Paged cells: gather exactly the k×l selected cells out of the
+		// column store (or over the wire) instead of indexing the table.
+		view, err = table.GatherView(m.cellSrc, m.T.Name, selRows, st.ColIdx)
+	} else {
+		view, err = m.T.SubTableView(selRows, st.Cols)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"subtab/internal/binning"
+	"subtab/internal/colstore"
 	"subtab/internal/shard"
 )
 
@@ -141,4 +142,83 @@ func shardedReservoir(b *binning.Binned, src *shard.Source, cols []int, budget i
 	wg.Wait()
 	strata, cands := shard.MergeSummaries(sums, b.NumItems())
 	return shard.FinishSample(strata, cands, budget)
+}
+
+// UseShardedColumnStores exports the model's raw columns into len(paths)
+// column-store shard files, cut at exactly the same row ranges as
+// UseShardedStores (shard i owns rows [i*n/N, (i+1)*n/N)), opens them as
+// one sharded cell source, switches view assembly onto it and releases the
+// inline columns — the sharded analogue of UseColumnStoreFile. All paths
+// must share one directory. The returned source is owned by the model for
+// reading; Close it when the model is discarded.
+func (m *Model) UseShardedColumnStores(paths []string, blockRows int) (*shard.Cells, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: sharded column export needs at least one shard path")
+	}
+	if !m.T.CellsResident() {
+		return nil, fmt.Errorf("core: exporting sharded column stores: table cells are already paged")
+	}
+	dir := filepath.Dir(paths[0])
+	for _, p := range paths[1:] {
+		if filepath.Dir(p) != dir {
+			return nil, fmt.Errorf("core: column shard files must share one directory, got %q and %q", dir, filepath.Dir(p))
+		}
+	}
+	rows := m.T.NumRows()
+	descs := make([]shard.Desc, len(paths))
+	for i, p := range paths {
+		start, end := i*rows/len(paths), (i+1)*rows/len(paths)
+		if err := colstore.WriteTableRows(p, m.T, start, end, blockRows); err != nil {
+			return nil, fmt.Errorf("core: exporting column shard %d: %w", i, err)
+		}
+		st, err := colstore.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: reopening column shard %d: %w", i, err)
+		}
+		descs[i] = shard.Desc{File: filepath.Base(p), Rows: st.NumRows(), BlockRows: st.BlockRows(), Checksum: st.Checksum()}
+		st.Close()
+	}
+	names := make([]string, m.T.NumCols())
+	for c := range names {
+		names[c] = m.T.ColumnAt(c).Name
+	}
+	cells, err := shard.OpenCells(dir, descs, names, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopening sharded column stores: %w", err)
+	}
+	if err := m.AttachColumnStore(cells); err != nil {
+		cells.Close()
+		return nil, err
+	}
+	if err := m.DropInlineCells(); err != nil {
+		cells.Close()
+		return nil, err
+	}
+	return cells, nil
+}
+
+// ShardCells returns the model's sharded cell source, or nil when the
+// model's raw columns are not shard-backed.
+func (m *Model) ShardCells() *shard.Cells {
+	sc, _ := m.cellSrc.(*shard.Cells)
+	return sc
+}
+
+// GatherShardCells reads rendered cells from one locally held column-store
+// shard: the worker half of the shard-exec cells protocol. rows are
+// shard-local; cols are source column indices.
+func (m *Model) GatherShardCells(idx int, cols []int, rows []int) ([][]string, error) {
+	sc := m.ShardCells()
+	if sc == nil {
+		return nil, fmt.Errorf("core: table's columns are not shard-backed")
+	}
+	if idx < 0 || idx >= sc.NumShards() {
+		return nil, fmt.Errorf("core: shard %d out of range [0, %d)", idx, sc.NumShards())
+	}
+	for _, c := range cols {
+		if c < 0 || c >= m.T.NumCols() {
+			return nil, fmt.Errorf("core: column %d out of range [0, %d)", c, m.T.NumCols())
+		}
+	}
+	return sc.ShardGather(idx, cols, rows)
 }

@@ -34,6 +34,7 @@ import (
 
 	"subtab/internal/binning"
 	"subtab/internal/codestore"
+	"subtab/internal/colstore"
 	"subtab/internal/core"
 	"subtab/internal/shard"
 	"subtab/internal/table"
@@ -67,8 +68,15 @@ import (
 // block size and identity checksum — resolved against the model file's
 // directory at load time. With LoadOptions.AllowMissingShards, shard files
 // that do not exist load as a partial source (a coordinator whose shards
-// live on peers). Files from versions 1-5 still load unchanged.
-const Version uint16 = 6
+// live on peers). Files from versions 1-5 still load unchanged. Version 7
+// extends the out-of-core story to the raw columns: the table section gains
+// a cells-presence flag (a paged table saves as a schema husk — names,
+// kinds and row count only), and a column-store section after the lineage
+// counter references the external paged column store (package colstore) —
+// a single file, a sharded set cut like the code shards, or none — by base
+// name and identity checksum, resolved against the model file's directory
+// at load time. Files from versions 1-6 still load unchanged.
+const Version uint16 = 7
 
 var magic = [8]byte{'S', 'U', 'B', 'T', 'A', 'B', 'M', 'D'}
 
@@ -101,6 +109,9 @@ func Save(w io.Writer, m *core.Model) error {
 	writeAffinity(e, m.AffinityData(), m.T.NumCols())
 	writeBinCounts(e, m.BinCountsData())
 	e.u64(uint64(m.AppendedSinceRebin()))
+	if err := writeColumnStore(e, m); err != nil {
+		return err
+	}
 	if e.err != nil {
 		return e.err
 	}
@@ -175,7 +186,7 @@ func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 		return nil, fmt.Errorf("%w: file version %d, this build reads versions 1-%d", ErrVersion, v, Version)
 	}
 	opt := readOptions(d, v)
-	t := readTable(d)
+	t := readTable(d, v)
 	cols, codes, ref, smap := readBinnedParts(d, t, v)
 	emb := readEmbedding(d)
 	aff := readAffinity(d, t)
@@ -184,6 +195,11 @@ func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 	if v >= 3 {
 		counts = readBinCounts(d, t, cols)
 		appendedSinceRebin = int(d.u64())
+	}
+	var colRef *storeRef
+	var colShards []shard.Desc
+	if v >= 7 {
+		colRef, colShards = readColumnStore(d, t)
 	}
 	if d.err != nil {
 		return nil, d.err
@@ -254,6 +270,43 @@ func LoadWith(r io.Reader, lopt LoadOptions) (*core.Model, error) {
 	}
 	if err := m.SetAppendedSinceRebin(appendedSinceRebin); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// External raw columns attach last: the model is structurally whole, so
+	// geometry validation runs against the verified schema.
+	switch {
+	case colShards != nil:
+		if lopt.CodeStoreDir == "" {
+			return nil, fmt.Errorf("modelio: model references a %d-shard column store; load with LoadFile or LoadWith{CodeStoreDir}", len(colShards))
+		}
+		names := make([]string, t.NumCols())
+		for c := range names {
+			names[c] = t.ColumnAt(c).Name
+		}
+		cells, err := shard.OpenCells(lopt.CodeStoreDir, colShards, names, lopt.AllowMissingShards)
+		if err != nil {
+			return nil, fmt.Errorf("modelio: opening sharded column store: %w", err)
+		}
+		if err := m.AttachColumnStore(cells); err != nil {
+			cells.Close()
+			return nil, fmt.Errorf("%w: attaching sharded column store: %v", ErrCorrupt, err)
+		}
+	case colRef != nil:
+		if lopt.CodeStoreDir == "" {
+			return nil, fmt.Errorf("modelio: model references external column store %q; load with LoadFile or LoadWith{CodeStoreDir}", colRef.file)
+		}
+		cs, err := colstore.Open(filepath.Join(lopt.CodeStoreDir, colRef.file))
+		if err != nil {
+			return nil, fmt.Errorf("modelio: opening external column store %q: %w", colRef.file, err)
+		}
+		if cs.Checksum() != colRef.checksum {
+			cs.Close()
+			return nil, fmt.Errorf("%w: external column store %q has checksum %08x, model expects %08x",
+				ErrCorrupt, colRef.file, cs.Checksum(), colRef.checksum)
+		}
+		if err := m.AttachColumnStore(cs); err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("%w: attaching external column store: %v", ErrCorrupt, err)
+		}
 	}
 	return m, nil
 }
@@ -347,6 +400,19 @@ func writeTable(e *encoder, t *table.Table) {
 	e.str(t.Name)
 	e.u32(uint32(t.NumRows()))
 	e.u32(uint32(t.NumCols()))
+	// v7: the cells-presence flag. A paged table (raw columns living in an
+	// external column store) saves as a schema husk — per column just name
+	// and kind; the dictionaries and payloads are the store's.
+	if t.CellsResident() {
+		e.u8(1)
+	} else {
+		e.u8(0)
+		for _, c := range t.Columns() {
+			e.str(c.Name)
+			e.u8(uint8(c.Kind))
+		}
+		return
+	}
 	for _, c := range t.Columns() {
 		e.str(c.Name)
 		e.u8(uint8(c.Kind))
@@ -370,7 +436,7 @@ func writeTable(e *encoder, t *table.Table) {
 // values in a file can only come from corruption.
 const maxColumns = 1 << 20
 
-func readTable(d *decoder) *table.Table {
+func readTable(d *decoder, v uint16) *table.Table {
 	name := d.str()
 	nRows := int(d.u32())
 	nCols := int(d.u32())
@@ -380,6 +446,38 @@ func readTable(d *decoder) *table.Table {
 	if nCols > maxColumns {
 		d.fail("column count %d exceeds limit", nCols)
 		return nil
+	}
+	if v >= 7 {
+		switch flag := d.u8(); {
+		case d.err != nil:
+			return nil
+		case flag == 0:
+			// Schema husk: the raw columns live in the external column store
+			// the trailing column-store section references.
+			cols := make([]*table.Column, 0, min(nCols, 4096))
+			for i := 0; i < nCols; i++ {
+				colName := d.str()
+				kind := table.Kind(d.u8())
+				if d.err != nil {
+					return nil
+				}
+				if kind != table.Numeric && kind != table.Categorical {
+					d.fail("unknown column kind %d", kind)
+					return nil
+				}
+				cols = append(cols, &table.Column{Name: colName, Kind: kind})
+			}
+			t, err := table.FromColumns(name, cols)
+			if err != nil {
+				d.fail("rebuilding table: %v", err)
+				return nil
+			}
+			t.MarkPaged(nRows)
+			return t
+		case flag != 1:
+			d.fail("unknown table cells flag %d", flag)
+			return nil
+		}
 	}
 	cols := make([]*table.Column, 0, min(nCols, 4096))
 	for i := 0; i < nCols; i++ {
@@ -498,6 +596,115 @@ type storeRef struct {
 	file      string
 	blockRows int
 	checksum  uint32
+}
+
+// writeColumnStore serializes the v7 column-store section: one flag — no
+// external columns (0, cells travel inline in the table section), a single
+// paged column store (1: base file name, block size, identity checksum), or
+// a sharded set (2: per-shard descriptors, cut like the code shards).
+func writeColumnStore(e *encoder, m *core.Model) error {
+	src := m.CellSource()
+	if src == nil {
+		if !m.T.CellsResident() {
+			return errors.New("modelio: table cells are paged but the model has no cell source")
+		}
+		e.u8(0)
+		return nil
+	}
+	if sc, ok := src.(interface{ ShardDescs() []shard.Desc }); ok {
+		descs := sc.ShardDescs()
+		for i, d := range descs {
+			if d.File == "" {
+				return fmt.Errorf("modelio: sharded column store's shard %d has no file identity", i)
+			}
+		}
+		e.u8(2)
+		e.u32(uint32(len(descs)))
+		for _, d := range descs {
+			e.str(d.File)
+			e.u64(uint64(d.Rows))
+			e.u32(uint32(d.BlockRows))
+			e.u32(d.Checksum)
+		}
+		return nil
+	}
+	ref, ok := src.(interface {
+		Path() string
+		Checksum() uint32
+		BlockRows() int
+	})
+	if !ok {
+		return errors.New("modelio: model's cell source has no file identity; attach a colstore.Store before saving")
+	}
+	e.u8(1)
+	e.str(filepath.Base(ref.Path()))
+	e.u32(uint32(ref.BlockRows()))
+	e.u32(ref.Checksum())
+	return nil
+}
+
+// readColumnStore reads the v7 column-store section, returning exactly one
+// of a single-file reference or a sharded descriptor list (both nil when
+// the model has no external columns).
+func readColumnStore(d *decoder, t *table.Table) (*storeRef, []shard.Desc) {
+	if d.err != nil || t == nil {
+		return nil, nil
+	}
+	switch flag := d.u8(); {
+	case d.err != nil:
+		return nil, nil
+	case flag == 0:
+		if !t.CellsResident() {
+			d.fail("table cells are paged but no column store is referenced")
+		}
+		return nil, nil
+	case flag == 1:
+		ref := &storeRef{file: d.str(), blockRows: int(d.u32()), checksum: d.u32()}
+		if d.err != nil {
+			return nil, nil
+		}
+		if ref.file == "" || ref.file != filepath.Base(ref.file) {
+			d.fail("invalid external column store reference %q", ref.file)
+			return nil, nil
+		}
+		return ref, nil
+	case flag == 2:
+		n := int(d.u32())
+		if d.err != nil {
+			return nil, nil
+		}
+		if n <= 0 || n > 1<<20 {
+			d.fail("column store with %d shards", n)
+			return nil, nil
+		}
+		descs := make([]shard.Desc, 0, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			sd := shard.Desc{
+				File:      d.str(),
+				Rows:      int(d.u64()),
+				BlockRows: int(d.u32()),
+				Checksum:  d.u32(),
+			}
+			if d.err != nil {
+				return nil, nil
+			}
+			if sd.File == "" || sd.File != filepath.Base(sd.File) || sd.Rows < 0 || sd.BlockRows <= 0 {
+				d.fail("invalid column shard entry %d (%q, %d rows, %d rows/block)", i, sd.File, sd.Rows, sd.BlockRows)
+				return nil, nil
+			}
+			total += sd.Rows
+			descs = append(descs, sd)
+		}
+		if total != t.NumRows() {
+			d.fail("column shards hold %d rows, table has %d", total, t.NumRows())
+			return nil, nil
+		}
+		return nil, descs
+	default:
+		d.fail("unknown column-store flag %d", flag)
+		return nil, nil
+	}
 }
 
 // readBinnedParts reads the binned section: the per-column binnings plus

@@ -24,6 +24,13 @@ import (
 // the oversized-body path without allocating a gigabyte.
 var maxCSVBody int64 = 1 << 30
 
+// maxSelectCells bounds a select response's k×l cell count. The check runs
+// before the selection so a request asking for millions of cells is
+// rejected with a 400 instead of materializing an unbounded response — a
+// k×l sub-table is a display artifact, and no display shows 64k cells. A
+// variable so tests can lower it.
+var maxSelectCells = 1 << 16
+
 // NewHandler adapts a Service to an HTTP/JSON API:
 //
 //	GET    /healthz                 liveness + cache stats
@@ -36,6 +43,7 @@ var maxCSVBody int64 = 1 << 30
 //	POST   /tables/{name}/query     k×l sub-table of a query result
 //	GET    /tables/{name}/rules     mined association rules
 //	POST   /shards/{name}/{idx}/sample  shard-exec scan (binary codec)
+//	POST   /shards/{name}/{idx}/cells   shard-exec cell gather (binary codec)
 //
 // Every response is JSON; errors are {"error": "..."} with a matching
 // status code. A nil logger disables request logging.
@@ -52,6 +60,7 @@ func NewHandler(svc *Service, logger *log.Logger) http.Handler {
 	mux.HandleFunc("POST /tables/{name}/query", h.selectQuery)
 	mux.HandleFunc("GET /tables/{name}/rules", h.rules)
 	mux.HandleFunc("POST /shards/{name}/{idx}/sample", h.shardSample)
+	mux.HandleFunc("POST /shards/{name}/{idx}/cells", h.shardCells)
 	if logger == nil {
 		return mux
 	}
@@ -306,6 +315,41 @@ func (h *api) shardSample(w http.ResponseWriter, r *http.Request) {
 	w.Write(resp.Marshal())
 }
 
+// shardCells serves the worker half of a remote view gather: a coordinator
+// rendering a selection over a sharded column store fetches the chosen
+// rows' cells from the shard owners. Binary codec like shardSample.
+func (h *api) shardCells(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	idx, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil || idx < 0 {
+		writeBadRequest(w, "shard index: want a non-negative integer, got %q", r.PathValue("idx"))
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeBadRequest(w, "reading request body: %v", err)
+		return
+	}
+	req, err := shard.UnmarshalCellsRequest(raw)
+	if err != nil {
+		writeBadRequest(w, "%v", err)
+		return
+	}
+	resp, err := h.svc.ShardCells(name, idx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(resp.Marshal())
+}
+
 // writeCSVError maps a CSV ingestion failure to a status: an oversized body
 // is 413, anything else the client's malformed CSV (400).
 func writeCSVError(w http.ResponseWriter, err error) {
@@ -455,6 +499,18 @@ func (h *api) doSelect(w http.ResponseWriter, r *http.Request, withQuery bool) {
 	}
 	if req.L == 0 {
 		req.L = 10
+	}
+	if req.K < 0 || req.L < 0 {
+		writeBadRequest(w, "k and l must be non-negative, got k=%d l=%d", req.K, req.L)
+		return
+	}
+	// Bound the response before any work happens: each of the k×l cells is
+	// materialized three times on the way out (view table, rendered view,
+	// JSON cells), so the budget is what keeps one request from holding
+	// the response path's memory hostage.
+	if req.K > maxSelectCells || req.L > maxSelectCells || req.K*req.L > maxSelectCells {
+		writeBadRequest(w, "k×l = %d×%d exceeds the response budget of %d cells", req.K, req.L, maxSelectCells)
+		return
 	}
 	var q *query.Query
 	if withQuery {

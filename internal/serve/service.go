@@ -74,6 +74,10 @@ type TableInfo struct {
 	// OutOfCore reports that the model's bin codes are served from an
 	// external code store rather than memory.
 	OutOfCore bool `json:"out_of_core,omitempty"`
+	// PagedColumns reports that the model's raw displayed columns are served
+	// from an on-disk paged column store: selections render by gathering
+	// only the selected rows' blocks instead of holding every cell resident.
+	PagedColumns bool `json:"paged_columns,omitempty"`
 	// Shards is the shard count of a sharded table (0 otherwise);
 	// LocalShards counts how many of them this instance holds — fewer
 	// than Shards on a coordinator that samples the rest from peers.
@@ -116,9 +120,11 @@ func (s *Service) AddTable(name string, t *table.Table, opt *core.Options, repla
 // after pre-processing, the bin codes are exported to a code store file in
 // the disk cache, the model is switched onto it and the inline codes are
 // released, so the served model's resident footprint excludes the per-cell
-// code matrix and scaled selections stream the store instead. The
-// persisted model references the store file (modelio v5), so disk reloads
-// come back out-of-core too. Requires a disk-backed store; selections are
+// code matrix and scaled selections stream the store instead. The raw
+// displayed columns page out the same way, to a sibling column store file:
+// view assembly gathers the selected rows' blocks instead of indexing an
+// in-memory table. The persisted model references both store files
+// (modelio v5/v7), so disk reloads come back out-of-core too. Requires a disk-backed store; selections are
 // bit-identical to the in-memory path. The whole build — export, attach,
 // persist, insert — runs under the table's per-name lock, so concurrent
 // uploads of one name serialize instead of pairing one upload's model with
@@ -128,6 +134,10 @@ func (s *Service) AddTableOutOfCore(name string, t *table.Table, opt *core.Optio
 		return nil, errors.New("serve: table name must not be empty")
 	}
 	csPath, err := s.store.CodeStorePath(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	colsPath, err := s.store.ColumnStorePath(name)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -148,9 +158,17 @@ func (s *Service) AddTableOutOfCore(name string, t *table.Table, opt *core.Optio
 	if _, err := m.UseCodeStoreFile(csPath, 0); err != nil {
 		return nil, err
 	}
-	if err := s.store.putLocked(name, m); err != nil {
-		// Do not strand a code store whose model never registered.
+	// Page out the raw displayed columns too: with both stores external the
+	// resident model is schema + binnings + embedding, and a select gathers
+	// only the k chosen rows' cell blocks back.
+	if _, err := m.UseColumnStoreFile(colsPath, 0); err != nil {
 		os.Remove(csPath)
+		return nil, err
+	}
+	if err := s.store.putLocked(name, m); err != nil {
+		// Do not strand stores whose model never registered.
+		os.Remove(csPath)
+		os.Remove(colsPath)
 		return nil, err
 	}
 	s.invalidateRules(name)
@@ -161,9 +179,12 @@ func (s *Service) AddTableOutOfCore(name string, t *table.Table, opt *core.Optio
 // shards: the bin codes export into `shards` codestore files (rows cut
 // evenly), the model serves scaled selections by scattering one goroutine
 // per shard, and a sidecar shard-map file records the layout so Remove
-// can delete every shard and external tooling can address them. The
-// persisted model references the shard map (modelio v6); selections stay
-// bit-identical to the single-store and in-memory paths.
+// can delete every shard and external tooling can address them. The raw
+// displayed columns export into column-store shards cut at the same rows,
+// so each worker instance holds the cells its code shard can select. The
+// persisted model references the shard map and column shards (modelio
+// v6/v7); selections stay bit-identical to the single-store and in-memory
+// paths.
 func (s *Service) AddTableSharded(name string, t *table.Table, opt *core.Options, shards int, replace bool) (*core.Model, error) {
 	if strings.TrimSpace(name) == "" {
 		return nil, errors.New("serve: table name must not be empty")
@@ -172,6 +193,10 @@ func (s *Service) AddTableSharded(name string, t *table.Table, opt *core.Options
 		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBadRequest, shards)
 	}
 	paths, err := s.store.ShardPaths(name, shards)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	colPaths, err := s.store.ColumnShardPaths(name, shards)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -197,7 +222,18 @@ func (s *Service) AddTableSharded(name string, t *table.Table, opt *core.Options
 		for _, p := range paths {
 			os.Remove(p)
 		}
+		for _, p := range colPaths {
+			os.Remove(p)
+		}
 		os.Remove(s.store.shardMapPath(name))
+	}
+	// The raw displayed columns shard at the same row cuts as the codes, so
+	// a worker instance given shard i's code file and column file holds
+	// everything a scatter touching shard i needs: codes to scan, cells to
+	// render.
+	if _, err := m.UseShardedColumnStores(colPaths, 0); err != nil {
+		cleanup()
+		return nil, err
 	}
 	if err := shard.WriteFile(s.store.shardMapPath(name), src.Map()); err != nil {
 		cleanup()
@@ -222,9 +258,10 @@ func (s *Service) AddTableSharded(name string, t *table.Table, opt *core.Options
 // Out-of-core tables stay out-of-core: Append materializes inline codes
 // to build the successor, so the successor's codes are re-exported over
 // the table's store file and dropped again before the swap — the memory
-// bound the table was uploaded under survives its appends. In-flight
-// selections on the old model keep reading the replaced store through
-// their open mapping.
+// bound the table was uploaded under survives its appends. Paged raw
+// columns re-export the same way, over the table's column store (or its
+// column shards). In-flight selections on the old model keep reading the
+// replaced stores through their open mappings.
 func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOptions) (*core.Model, core.AppendStats, error) {
 	var stats core.AppendStats
 	changed := false
@@ -260,6 +297,20 @@ func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOpti
 			if err := shard.WriteFile(s.store.shardMapPath(name), nsrc.Map()); err != nil {
 				return nil, fmt.Errorf("serve: rewriting shard map after append: %w", err)
 			}
+			if cur.CellsPaged() && !next.CellsPaged() {
+				// Paged columns stay paged, re-sharded at the successor's cuts.
+				colPaths, perr := s.store.ColumnShardPaths(name, cursrc.NumShards())
+				if perr != nil {
+					return nil, fmt.Errorf("serve: re-exporting column shards after append: %w", perr)
+				}
+				blockRows := 0
+				if sc := cur.ShardCells(); sc != nil && sc.NumShards() > 0 {
+					blockRows = sc.Desc(0).BlockRows
+				}
+				if _, err := next.UseShardedColumnStores(colPaths, blockRows); err != nil {
+					return nil, fmt.Errorf("serve: re-exporting column shards after append: %w", err)
+				}
+			}
 		case changed && cur.OutOfCore() && !next.OutOfCore():
 			csPath, perr := s.store.CodeStorePath(name)
 			if perr != nil {
@@ -267,6 +318,15 @@ func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOpti
 			}
 			if _, err := next.UseCodeStoreFile(csPath, 0); err != nil {
 				return nil, fmt.Errorf("serve: re-exporting code store after append: %w", err)
+			}
+			if cur.CellsPaged() && !next.CellsPaged() {
+				colsPath, perr := s.store.ColumnStorePath(name)
+				if perr != nil {
+					return nil, fmt.Errorf("serve: re-exporting column store after append: %w", perr)
+				}
+				if _, err := next.UseColumnStoreFile(colsPath, 0); err != nil {
+					return nil, fmt.Errorf("serve: re-exporting column store after append: %w", err)
+				}
 			}
 		}
 		return next, nil
@@ -328,6 +388,7 @@ func (s *Service) info(name string) TableInfo {
 	info.Cols = m.T.NumCols()
 	info.Columns = m.T.ColumnNames()
 	info.OutOfCore = m.OutOfCore()
+	info.PagedColumns = m.CellsPaged()
 	if src := m.ShardSource(); src != nil {
 		info.Shards = src.NumShards()
 		for i := 0; i < src.NumShards(); i++ {

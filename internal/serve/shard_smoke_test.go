@@ -6,14 +6,21 @@
 // the in-process goroutine fan-out, then the shards are split across two
 // loopback server instances (coordinator + worker) and the same Select
 // runs over HTTP — both inside a wall-clock bound, with byte-identical
-// fingerprints. Without the env var the test skips, so routine
-// `go test ./...` runs never pay for the 1M-row setup.
+// fingerprints — and a freshly loaded worker instance must hold only a
+// small fraction of the table's inline cell bytes on its heap (its raw
+// columns live in mmap'd shard-local pages). Without the env var the test
+// skips, so routine `go test ./...` runs never pay for the 1M-row setup.
 package serve
 
 import (
+	"bufio"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -103,9 +110,10 @@ func TestShardedSmoke(t *testing.T) {
 		t.Fatal("repeated in-process sharded Select diverged")
 	}
 
-	// HTTP mode: shards 2 and 3 (and a copy of the model file) move to a
-	// second instance's cache dir; the coordinator keeps 0 and 1 and
-	// samples the rest over loopback HTTP.
+	// HTTP mode: shards 2 and 3 — code files and column files — plus a copy
+	// of the model file move to a second instance's cache dir; the
+	// coordinator keeps 0 and 1, samples the remote codes over loopback
+	// HTTP and fetches remote rows' rendered cells the same way.
 	models, err := filepath.Glob(filepath.Join(coordDir, "*.subtab"))
 	if err != nil || len(models) != 1 {
 		t.Fatalf("model file glob: %v %v", models, err)
@@ -121,9 +129,15 @@ func TestShardedSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	colPaths, err := build.Store().ColumnShardPaths("smoke", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, i := range []int{2, 3} {
-		if err := os.Rename(paths[i], filepath.Join(workerDir, filepath.Base(paths[i]))); err != nil {
-			t.Fatal(err)
+		for _, p := range []string{paths[i], colPaths[i]} {
+			if err := os.Rename(p, filepath.Join(workerDir, filepath.Base(p))); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	worker := NewService(NewStore(StoreOptions{Dir: workerDir, AllowMissingShards: true}), shardSmokeOptions())
@@ -167,4 +181,69 @@ func TestShardedSmoke(t *testing.T) {
 		t.Fatalf("HTTP scatter/gather diverged from the in-process fan-out:\n got %s\nwant %s",
 			subTableFingerprint(overHTTP), subTableFingerprint(inproc))
 	}
+
+	// Worker residency: a worker instance serves its shards from mmap'd code
+	// and column pages behind a schema husk, so its live-heap cost must be a
+	// small fraction of the table's inline cell bytes. Both roles share this
+	// test process, so the two-instance "worker RSS < coordinator RSS" claim
+	// is measured as the heap retained by a freshly loaded worker instance
+	// against a floor on what the inline cells occupy (4 bytes per cell is
+	// the categorical minimum; numeric columns cost 8).
+	inlineFloor := int64(tbl.NumRows()) * int64(tbl.NumCols()) * 4
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fresh := NewService(NewStore(StoreOptions{Dir: workerDir, AllowMissingShards: true}), shardSmokeOptions())
+	fm, err := fresh.Model("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fm.CellsPaged() {
+		t.Fatal("worker reload lost its paged cells")
+	}
+	if sc := fm.ShardCells(); sc == nil || sc.Complete() || !sc.ShardAvailable(2) || !sc.ShardAvailable(3) {
+		t.Fatalf("worker owns the wrong column shards: %+v", fm.ShardCells())
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	workerHeap := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	t.Logf("fresh worker instance live heap: %d MiB (inline cells occupy at least %d MiB)",
+		workerHeap>>20, inlineFloor>>20)
+	if workerHeap > inlineFloor/4 {
+		t.Fatalf("fresh worker instance retains %d MiB of heap, more than a quarter of the %d MiB inline-cell floor — the worker is not serving from paged columns",
+			workerHeap>>20, inlineFloor>>20)
+	}
+	debug.FreeOSMemory()
+	if rss, ok := procRSSBytes(t, "VmRSS:"); ok {
+		t.Logf("process RSS after the 2-instance smoke: %d MiB", rss>>20)
+	}
+	runtime.KeepAlive(fm)
+}
+
+// procRSSBytes reads one RSS figure (VmRSS: current, VmHWM: high-water)
+// from /proc/self/status; non-Linux platforms report ok=false.
+func procRSSBytes(t *testing.T, key string) (int64, bool) {
+	if runtime.GOOS != "linux" {
+		return 0, false
+	}
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		t.Logf("reading /proc/self/status: %v", err)
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || fields[0] != key {
+			continue
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
 }

@@ -14,6 +14,11 @@ package serve
 // carries the candidate rows' codes; the coordinator overlays them as a
 // sparse code source so the rest of the selection never touches a
 // missing shard.
+//
+// Tables whose raw columns are sharded too (paged column stores)
+// extend the lift to view rendering: the coordinator resolves the chosen
+// rows' cells from the owning workers (POST /shards/{table}/{idx}/cells),
+// one round trip per remote shard covering every view column.
 
 import (
 	"bytes"
@@ -74,6 +79,54 @@ func (s *Service) SampleShard(name string, idx int, req *shard.SampleRequest) (*
 	}, nil
 }
 
+// maxShardCellsPerRequest bounds one cells request's row×column product: a
+// view gather touches k rows × l columns (hundreds of cells), so a request
+// asking for millions is a bug or abuse, not a bigger view.
+const maxShardCellsPerRequest = 1 << 20
+
+// ShardCells executes the worker half of a remote view gather: the handler
+// behind POST /shards/{name}/{idx}/cells. The request carries shard-local
+// row indices and source column indices; the response carries the rendered
+// cells, exactly the bytes the coordinator's view assembly would read off a
+// local column store. Like SampleShard, the request's checksum must match
+// the local column shard's identity.
+func (s *Service) ShardCells(name string, idx int, req *shard.CellsRequest) (*shard.CellsResponse, error) {
+	m, err := s.store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	sc := m.ShardCells()
+	if sc == nil {
+		return nil, fmt.Errorf("%w: table %q has no sharded column store", ErrBadRequest, name)
+	}
+	if idx < 0 || idx >= sc.NumShards() {
+		return nil, fmt.Errorf("%w: shard %d out of range [0, %d)", ErrBadRequest, idx, sc.NumShards())
+	}
+	if !sc.ShardAvailable(idx) {
+		return nil, fmt.Errorf("%w: column shard %d of %q is not held by this instance", ErrBadRequest, idx, name)
+	}
+	if got, want := req.Checksum, sc.Desc(idx).Checksum; got != want {
+		return nil, fmt.Errorf("%w: column shard %d of %q: request expects checksum %08x, this store has %08x",
+			ErrBadRequest, idx, name, got, want)
+	}
+	if n := len(req.Cols) * len(req.Rows); n > maxShardCellsPerRequest {
+		return nil, fmt.Errorf("%w: request asks for %d cells, limit is %d", ErrBadRequest, n, maxShardCellsPerRequest)
+	}
+	shardRows := sc.Desc(idx).Rows
+	rows := make([]int, len(req.Rows))
+	for i, r := range req.Rows {
+		if r < 0 || r >= int64(shardRows) {
+			return nil, fmt.Errorf("%w: row %d outside column shard %d's range [0, %d)", ErrBadRequest, r, idx, shardRows)
+		}
+		rows[i] = int(r)
+	}
+	cells, err := m.GatherShardCells(idx, req.Cols, rows)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &shard.CellsResponse{Cells: cells}, nil
+}
+
 // gatherShardCodes reads the codes of the given global rows for every
 // table column (col-major, parallel to rows).
 func gatherShardCodes(src *shard.Source, cols int, rows []int64) [][]uint16 {
@@ -103,13 +156,23 @@ type ShardPeersOptions struct {
 	Retries int
 	// Client overrides the HTTP client (tests). Default http.DefaultClient.
 	Client *http.Client
+	// Generation, when non-nil, tags cross-request cache entries with its
+	// value at fill time and discards entries whose tag no longer matches —
+	// wire it to Store.Generation(name) so replacing a sharded table
+	// invalidates samples gathered against the predecessor instead of
+	// serving its rows forever. Nil keeps the pre-generation behaviour
+	// (cache entries live as long as the sampler).
+	Generation func() uint64
 }
 
 // NewShardSampler builds the coordinator side of the protocol: a
 // core.ShardSampler that samples m's local shards in-process, fetches the
 // remote ones from peers, and merges — install it with
 // m.SetShardSampler. The model must be shard-backed; peers are required
-// only when some shards are not local.
+// only when some shards are not local. When the model's raw columns are
+// sharded too, the same peer set is installed as the column source's cell
+// fetcher, so view assembly resolves remote shards' cells over
+// POST /shards/{name}/{idx}/cells with one round trip per shard.
 func NewShardSampler(name string, m *core.Model, opt ShardPeersOptions) (core.ShardSampler, error) {
 	src := m.ShardSource()
 	if src == nil {
@@ -129,13 +192,20 @@ func NewShardSampler(name string, m *core.Model, opt ShardPeersOptions) (core.Sh
 	if opt.Client == nil {
 		opt.Client = http.DefaultClient
 	}
-	return &shardSampler{
+	s := &shardSampler{
 		name:  name,
 		m:     m,
 		src:   src,
 		opt:   opt,
 		cache: make(map[string]sampleResult),
-	}, nil
+	}
+	if sc := m.ShardCells(); sc != nil && !sc.Complete() {
+		if len(opt.Peers) == 0 {
+			return nil, fmt.Errorf("serve: table %q has remote column shards but no peers were given", name)
+		}
+		sc.SetFetcher(s.fetchCells)
+	}
+	return s, nil
 }
 
 type shardSampler struct {
@@ -151,6 +221,7 @@ type shardSampler struct {
 type sampleResult struct {
 	rows    []int
 	overlay *shard.SparseSource
+	gen     uint64 // ShardPeersOptions.Generation at fill time
 }
 
 // Sample runs one full scatter/gather round: scan or fetch every
@@ -162,10 +233,20 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 		return nil, nil, fmt.Errorf("serve: sample budget must be positive, got %d", budget)
 	}
 	key := fmt.Sprintf("%d|%v", budget, cols)
+	// The generation is read before the scatter: if the table is replaced
+	// while this round is in flight, the result is stored under the old tag
+	// and the next lookup discards it instead of serving pre-replace rows.
+	var gen uint64
+	if s.opt.Generation != nil {
+		gen = s.opt.Generation()
+	}
 	s.mu.Lock()
 	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return append([]int(nil), r.rows...), r.overlay, nil
+		if s.opt.Generation == nil || r.gen == gen {
+			s.mu.Unlock()
+			return append([]int(nil), r.rows...), r.overlay, nil
+		}
+		delete(s.cache, key)
 	}
 	s.mu.Unlock()
 
@@ -247,31 +328,70 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 	if len(s.cache) >= 8 {
 		clear(s.cache)
 	}
-	s.cache[key] = sampleResult{rows: rows, overlay: overlay}
+	s.cache[key] = sampleResult{rows: rows, overlay: overlay, gen: gen}
 	s.mu.Unlock()
 	return append([]int(nil), rows...), overlay, nil
 }
 
-// fetch posts the request for shard idx, rotating through peers across
-// attempts.
+// fetch posts the sample request for shard idx, rotating through peers
+// across attempts.
 func (s *shardSampler) fetch(idx int, req *shard.SampleRequest) (*shard.SampleResponse, error) {
 	body := req.Marshal()
 	var lastErr error
 	for attempt := 0; attempt <= s.opt.Retries; attempt++ {
 		peer := s.opt.Peers[(idx+attempt)%len(s.opt.Peers)]
-		resp, err := s.post(peer, idx, body)
+		raw, err := s.post(peer, idx, "sample", body)
 		if err == nil {
-			return resp, nil
+			resp, err := shard.UnmarshalSampleResponse(raw)
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = fmt.Errorf("peer %s: %w", peer, err)
+			continue
 		}
 		lastErr = fmt.Errorf("peer %s: %w", peer, err)
 	}
 	return nil, fmt.Errorf("serve: sampling shard %d of %q: %w", idx, s.name, lastErr)
 }
 
-func (s *shardSampler) post(peer string, idx int, body []byte) (*shard.SampleResponse, error) {
+// fetchCells resolves one remote shard's rendered view cells — the
+// shard.CellFetcher a coordinator installs on its sharded column source.
+// rows are shard-local; the same peer rotation and retry budget as sample
+// fetches apply.
+func (s *shardSampler) fetchCells(idx int, cols []int, rows []int) ([][]string, error) {
+	sc := s.m.ShardCells()
+	if sc == nil {
+		return nil, fmt.Errorf("serve: table %q has no sharded column source", s.name)
+	}
+	rows64 := make([]int64, len(rows))
+	for i, r := range rows {
+		rows64[i] = int64(r)
+	}
+	req := &shard.CellsRequest{Checksum: sc.Desc(idx).Checksum, Cols: cols, Rows: rows64}
+	body := req.Marshal()
+	var lastErr error
+	for attempt := 0; attempt <= s.opt.Retries; attempt++ {
+		peer := s.opt.Peers[(idx+attempt)%len(s.opt.Peers)]
+		raw, err := s.post(peer, idx, "cells", body)
+		if err == nil {
+			resp, err := shard.UnmarshalCellsResponse(raw)
+			if err == nil {
+				return resp.Cells, nil
+			}
+			lastErr = fmt.Errorf("peer %s: %w", peer, err)
+			continue
+		}
+		lastErr = fmt.Errorf("peer %s: %w", peer, err)
+	}
+	return nil, fmt.Errorf("serve: fetching cells for shard %d of %q: %w", idx, s.name, lastErr)
+}
+
+// post sends one checksummed frame to a peer's shard-exec endpoint
+// ("sample" or "cells") and returns the raw response frame.
+func (s *shardSampler) post(peer string, idx int, endpoint string, body []byte) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.opt.Timeout)
 	defer cancel()
-	u := strings.TrimRight(peer, "/") + "/shards/" + url.PathEscape(s.name) + "/" + strconv.Itoa(idx) + "/sample"
+	u := strings.TrimRight(peer, "/") + "/shards/" + url.PathEscape(s.name) + "/" + strconv.Itoa(idx) + "/" + endpoint
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -293,7 +413,7 @@ func (s *shardSampler) post(peer string, idx int, body []byte) (*shard.SampleRes
 	if len(raw) > maxShardRespBytes {
 		return nil, fmt.Errorf("response exceeds %d bytes", maxShardRespBytes)
 	}
-	return shard.UnmarshalSampleResponse(raw)
+	return raw, nil
 }
 
 // validateShardResponse rejects a peer response that cannot merge safely:

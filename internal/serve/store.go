@@ -374,6 +374,14 @@ func (s *Store) Remove(name string) {
 		os.Remove(s.shardMapPath(name))
 		os.Remove(s.path(name))
 		os.Remove(s.path(name) + codesExt)
+		// Paged raw columns: the single store plus any column shards. Model
+		// paths are hex-encoded, so the glob pattern cannot be confused by
+		// metacharacters in the table name.
+		if files, err := filepath.Glob(s.path(name) + colsExt + "*"); err == nil {
+			for _, f := range files {
+				os.Remove(f)
+			}
+		}
 	}
 }
 
@@ -436,17 +444,25 @@ func (s *Store) insertLocked(name string, m *core.Model) {
 		}
 		ev := s.lru.Remove(back).(*storeEntry)
 		delete(s.entries, ev.name)
+		// Release the evicted model's per-tenant caches (full tuple-vector
+		// matrix, memoized samples) now: other references — a disk reload
+		// that resurrects the entry, an in-flight selection — would otherwise
+		// keep an O(rows×dim) cache alive for a table that left the warm set.
+		// A selection racing the eviction rebuilds the cache it needs.
+		ev.model.ReleaseVectorCache()
 		s.evictions.Add(1)
 	}
 }
 
 // modelExt is the on-disk model file suffix; codesExt is appended to the
 // model path for a table's external code store (out-of-core selection);
+// colsExt for its paged raw-column store (out-of-core view rendering);
 // shardsExt is appended to the model path for a sharded table's sidecar
 // shard map (the file Remove consults to delete every shard).
 const (
 	modelExt  = ".subtab"
 	codesExt  = ".codes"
+	colsExt   = ".cols"
 	shardsExt = ".shards"
 )
 
@@ -462,6 +478,46 @@ func (s *Store) CodeStorePath(name string) (string, error) {
 		return "", err
 	}
 	return s.path(name) + codesExt, nil
+}
+
+// ColumnStorePath returns the disk-cache path of name's paged raw-column
+// store — the file an out-of-core table's displayed cells live in, next to
+// its model file so modelio's relative references resolve. Requires a
+// disk-backed store.
+func (s *Store) ColumnStorePath(name string) (string, error) {
+	if s.opt.Dir == "" {
+		return "", errors.New("serve: paged column stores need a disk-backed store (set StoreOptions.Dir)")
+	}
+	if err := os.MkdirAll(s.opt.Dir, 0o755); err != nil {
+		return "", err
+	}
+	return s.path(name) + colsExt, nil
+}
+
+// ColumnShardPaths returns the disk-cache paths of name's n column-store
+// shard files (".cols.000", ".cols.001", ...), cut at the same rows as the
+// code shards so a worker holding 1/Nth of the codes holds 1/Nth of the
+// column pages. Requires a disk-backed store.
+func (s *Store) ColumnShardPaths(name string, n int) ([]string, error) {
+	base, err := s.ColumnStorePath(name)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s.%03d", base, i)
+	}
+	return paths, nil
+}
+
+// Generation returns name's replacement generation: it bumps on every Put,
+// Update and Remove of the name. Coordinators key cross-request caches on
+// it, so samples and cells gathered against a replaced table invalidate
+// instead of serving the predecessor's rows.
+func (s *Store) Generation(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen[name]
 }
 
 // ShardPaths returns the disk-cache paths of name's n shard files

@@ -228,10 +228,145 @@ func (d *wireDecoder) u64() uint64 {
 	return v
 }
 
+func (d *wireDecoder) str() string {
+	n := int(d.u32())
+	if n < 0 || !d.has(n) {
+		d.fail = true
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
 // finish requires the body to be fully and exactly consumed.
 func (d *wireDecoder) finish(what string) error {
 	if d.fail || d.off != len(d.buf) {
 		return fmt.Errorf("%w: %s has inconsistent length", ErrCorrupt, what)
 	}
 	return nil
+}
+
+var (
+	cellsReqMagic  = [4]byte{'S', 'B', 'C', 'Q'}
+	cellsRespMagic = [4]byte{'S', 'B', 'C', 'R'}
+)
+
+// CellsRequest asks a peer for rendered cells from one column-store shard
+// it owns. Checksum is the shard's column-store identity from the
+// coordinator's descriptors; Rows are shard-local row indices and Cols are
+// source column indices.
+type CellsRequest struct {
+	Checksum uint32
+	Cols     []int
+	Rows     []int64
+}
+
+// CellsResponse carries the rendered cells: Cells[c][k] is the cell of
+// request column Cols[c] at request row Rows[k], the exact bytes the
+// resident table would render.
+type CellsResponse struct {
+	Cells [][]string
+}
+
+// Marshal encodes the request.
+func (r *CellsRequest) Marshal() []byte {
+	buf := make([]byte, 0, 24+4*len(r.Cols)+8*len(r.Rows))
+	buf = append(buf, cellsReqMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Checksum)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Cols)))
+	for _, c := range r.Cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Rows)))
+	for _, row := range r.Rows {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(row))
+	}
+	return appendCRC(buf)
+}
+
+// UnmarshalCellsRequest decodes and verifies a request body.
+func UnmarshalCellsRequest(raw []byte) (*CellsRequest, error) {
+	body, err := checkFrame(raw, cellsReqMagic, "cells request")
+	if err != nil {
+		return nil, err
+	}
+	d := &wireDecoder{buf: body, off: 6}
+	r := &CellsRequest{Checksum: d.u32()}
+	nCols := int(d.u32())
+	if nCols < 0 || nCols > 1<<24 || !d.has(4*nCols) {
+		return nil, fmt.Errorf("%w: cells request with %d columns", ErrCorrupt, nCols)
+	}
+	r.Cols = make([]int, nCols)
+	for i := range r.Cols {
+		r.Cols[i] = int(int32(d.u32()))
+	}
+	nRows := int(d.u32())
+	if nRows < 0 || !d.has(8*nRows) {
+		return nil, fmt.Errorf("%w: cells request rows", ErrCorrupt)
+	}
+	r.Rows = make([]int64, nRows)
+	for i := range r.Rows {
+		r.Rows[i] = int64(d.u64())
+	}
+	if err := d.finish("cells request"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Marshal encodes the response.
+func (r *CellsResponse) Marshal() []byte {
+	size := 16
+	for _, col := range r.Cells {
+		size += 4
+		for _, s := range col {
+			size += 4 + len(s)
+		}
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, cellsRespMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Cells)))
+	for _, col := range r.Cells {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col)))
+		for _, s := range col {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return appendCRC(buf)
+}
+
+// UnmarshalCellsResponse decodes and verifies a response body.
+func UnmarshalCellsResponse(raw []byte) (*CellsResponse, error) {
+	body, err := checkFrame(raw, cellsRespMagic, "cells response")
+	if err != nil {
+		return nil, err
+	}
+	d := &wireDecoder{buf: body, off: 6}
+	nCols := int(d.u32())
+	if nCols < 0 || nCols > 1<<24 {
+		return nil, fmt.Errorf("%w: cells response with %d columns", ErrCorrupt, nCols)
+	}
+	r := &CellsResponse{Cells: make([][]string, 0, min(nCols, 4096))}
+	for c := 0; c < nCols; c++ {
+		nCells := int(d.u32())
+		if nCells < 0 || !d.has(4*nCells) {
+			return nil, fmt.Errorf("%w: cells response column %d", ErrCorrupt, c)
+		}
+		col := make([]string, nCells)
+		for i := range col {
+			col[i] = d.str()
+		}
+		if d.fail {
+			return nil, fmt.Errorf("%w: cells response column %d", ErrCorrupt, c)
+		}
+		r.Cells = append(r.Cells, col)
+	}
+	if err := d.finish("cells response"); err != nil {
+		return nil, err
+	}
+	return r, nil
 }

@@ -1,0 +1,106 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column pages are the fixed-width on-disk encoding of a run of cells from
+// one column — the unit the paged column store (internal/colstore) blocks,
+// checksums and mmaps. Numeric cells are the 8 raw bytes of their float64
+// (NaN round-trips bit-exactly, so missing markers survive); categorical
+// cells are their dictionary code as a u32 (missing code -1 becomes
+// 0xFFFFFFFF). Dictionary pages carry a categorical column's interned
+// strings in code order. Everything is little-endian, matching the
+// codestore conventions.
+
+// PageCellWidth returns the fixed byte width of one cell in a column page.
+func PageCellWidth(k Kind) int {
+	if k == Numeric {
+		return 8
+	}
+	return 4
+}
+
+// AppendPage appends the page encoding of rows [start, start+n) of the
+// column to dst and returns the extended slice.
+func (c *Column) AppendPage(dst []byte, start, n int) []byte {
+	if c.Kind == Numeric {
+		for _, v := range c.Nums[start : start+n] {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		return dst
+	}
+	for _, code := range c.Cats[start : start+n] {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(code))
+	}
+	return dst
+}
+
+// DecodeNumericPage decodes a numeric page into dst (grown as needed).
+func DecodeNumericPage(page []byte, dst []float64) []float64 {
+	n := len(page) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[i*8:]))
+	}
+	return dst
+}
+
+// DecodeCategoricalPage decodes a categorical page into dst (grown as
+// needed).
+func DecodeCategoricalPage(page []byte, dst []int32) []int32 {
+	n := len(page) / 4
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(page[i*4:]))
+	}
+	return dst
+}
+
+// AppendDictPage appends a dictionary page — u32 count, then per string a
+// u32 length and the bytes — to dst and returns the extended slice.
+func AppendDictPage(dst []byte, strs []string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(strs)))
+	for _, s := range strs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeDictPage decodes a dictionary page from the front of buf, returning
+// the strings and the number of bytes consumed.
+func DecodeDictPage(buf []byte) ([]string, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("table: dictionary page shorter than its count")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	// A count the remaining bytes cannot possibly hold is structural damage,
+	// not an allocation request.
+	if n < 0 || n > (len(buf)-off)/4 {
+		return nil, 0, fmt.Errorf("table: dictionary page claims %d strings in %d bytes", n, len(buf)-off)
+	}
+	strs := make([]string, n)
+	for i := range strs {
+		if len(buf)-off < 4 {
+			return nil, 0, fmt.Errorf("table: dictionary page truncated at string %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if l < 0 || l > len(buf)-off {
+			return nil, 0, fmt.Errorf("table: dictionary string %d claims %d bytes, %d remain", i, l, len(buf)-off)
+		}
+		strs[i] = string(buf[off : off+l])
+		off += l
+	}
+	return strs, off, nil
+}

@@ -71,6 +71,24 @@ func (d *Dict) String(c int32) string { return d.strs[c] }
 // Size returns the number of distinct strings.
 func (d *Dict) Size() int { return len(d.strs) }
 
+// Strings returns a copy of the interned strings in code order (code i is
+// out[i]) — the payload of a serialized dictionary page.
+func (d *Dict) Strings() []string {
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	return out
+}
+
+// DictFromStrings rebuilds a dictionary from a dictionary page's strings:
+// string i gets code i, exactly reversing Strings.
+func DictFromStrings(strs []string) *Dict {
+	d := NewDict()
+	for _, s := range strs {
+		d.Code(s)
+	}
+	return d
+}
+
 // clone deep-copies the dictionary. Appends extend the clone, never the
 // original, so readers of the source table are unaffected.
 func (d *Dict) clone() *Dict {
@@ -145,13 +163,19 @@ func (c *Column) CellString(r int) string {
 		return "NaN"
 	}
 	if c.Kind == Numeric {
-		v := c.Nums[r]
-		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
-			return fmt.Sprintf("%.0f", v)
-		}
-		return fmt.Sprintf("%g", v)
+		return FormatNum(c.Nums[r])
 	}
 	return c.Dict.String(c.Cats[r])
+}
+
+// FormatNum renders a non-missing numeric cell — the exact bytes CellString
+// and Value.String produce. It is exported so out-of-table cell renderers
+// (the paged column store) stay byte-identical to in-memory rendering.
+func FormatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 // Distinct returns the number of distinct non-missing values.
@@ -206,19 +230,25 @@ func (v Value) String() string {
 		return "NaN"
 	}
 	if v.Kind == Numeric {
-		if v.Num == math.Trunc(v.Num) && math.Abs(v.Num) < 1e15 {
-			return fmt.Sprintf("%.0f", v.Num)
-		}
-		return fmt.Sprintf("%g", v.Num)
+		return FormatNum(v.Num)
 	}
 	return v.Str
 }
 
 // Table is a finite relation: an ordered set of equal-length typed columns.
+//
+// A table can be *paged*: its cell payloads dropped (DropCells) because
+// they live in an external column store, leaving a schema husk that still
+// reports its row count and column names/kinds. Operations that touch cell
+// data panic on a paged table; callers gate on CellsResident and read
+// through a CellSource instead.
 type Table struct {
 	Name   string
 	cols   []*Column
 	byName map[string]int
+
+	paged     bool
+	pagedRows int // row count while the cell payloads are dropped
 }
 
 // New returns an empty table with the given name.
@@ -255,10 +285,40 @@ func (t *Table) AddColumn(c *Column) error {
 
 // NumRows returns the number of rows.
 func (t *Table) NumRows() int {
+	if t.paged {
+		return t.pagedRows
+	}
 	if len(t.cols) == 0 {
 		return 0
 	}
 	return t.cols[0].Len()
+}
+
+// DropCells releases every column's cell payload (values and
+// dictionaries), leaving a schema-only table in paged mode: NumRows and the
+// column names/kinds keep answering, cell reads panic. Used once the cells
+// live in an external column store.
+func (t *Table) DropCells() {
+	if t.paged {
+		return
+	}
+	t.pagedRows = t.NumRows()
+	t.paged = true
+	for _, c := range t.cols {
+		c.Nums, c.Cats, c.Dict = nil, nil, nil
+	}
+}
+
+// CellsResident reports whether the cell payloads are in memory (false =
+// paged mode; reads must go through a CellSource).
+func (t *Table) CellsResident() bool { return !t.paged }
+
+// MarkPaged puts a schema-only table (columns with empty payloads, as
+// deserialized from a paged model file) into paged mode with the given row
+// count.
+func (t *Table) MarkPaged(rows int) {
+	t.paged = true
+	t.pagedRows = rows
 }
 
 // NumCols returns the number of columns.
