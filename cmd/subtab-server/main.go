@@ -16,8 +16,16 @@
 //
 // Out-of-core serving: upload with store=1 to move a table's bin codes
 // into an mmap'd code store beside the cached model (requires -cache-dir),
-// and set -memory-budget to spill the sampled tuple-vector slab of scaled
+// and set -slab-budget to spill the sampled tuple-vector slab of scaled
 // selects past that size; selections are byte-identical either way.
+//
+// Memory governance: -memory-budget caps the process's governed resident
+// bytes — cached models, per-model vector and sample caches, coordinator
+// sample caches, and in-flight select working sets — under one ledger
+// (internal/memgov). Consumers growing past the budget shed cold models
+// and caches; selects whose estimated working set cannot be admitted are
+// refused with 429 + Retry-After, as are selects past -table-concurrency.
+// See README.md "Memory model" for the full consumer table.
 //
 // Sharded serving: upload with shards=N to split a table's codes across N
 // shard stores, then spread the shard files (plus a copy of the model
@@ -58,6 +66,7 @@ import (
 	"time"
 
 	"subtab"
+	"subtab/internal/memgov"
 	"subtab/internal/serve"
 )
 
@@ -72,22 +81,36 @@ func main() {
 		seed      = flag.Int64("seed", 1, "default pipeline seed for uploaded tables")
 		timeout   = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown grace period")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ (profile serving hot spots in place)")
-		memBudget = flag.String("memory-budget", "", "default per-request budget for the sampled tuple-vector slab, e.g. 64MiB (plain bytes, or KiB/MiB/GiB); selections whose slab exceeds it spill to a temp file. Empty = never spill. Overridable per request via the select body's scale.slab_budget")
+		memBudget = flag.String("memory-budget", "", "process-wide budget for every governed resident byte consumer — cached models, per-model vector/sample caches, coordinator sample caches, in-flight select working sets — e.g. 512MiB (plain bytes, or KiB/MiB/GiB). Growth past it evicts cold models and caches; selects that cannot be admitted get 429 + Retry-After. Empty = ungoverned. NOTE: before the governor this flag named the per-request slab spill budget, now spelled -slab-budget")
+		slabFlag  = flag.String("slab-budget", "", "default per-request budget for the sampled tuple-vector slab, e.g. 64MiB; selections whose slab exceeds it spill to a temp file. Empty = never spill. Overridable per request via the select body's scale.slab_budget")
+		tableConc = flag.Int("table-concurrency", 0, "max selects running concurrently against one table; excess requests are refused with 429. 0 = unlimited")
 		shardRole = flag.String("shard-role", "", `role in a sharded deployment: "worker" (holds some shards of sharded tables, answers shard-exec requests) or "coordinator" (scatters scaled selects to -shard-peers). Empty = standalone: sharded tables must be fully local`)
 		peerList  = flag.String("shard-peers", "", "comma-separated base URLs of the instances holding this server's missing shards (coordinator role only)")
 	)
 	flag.Parse()
-	slabBudget, err := parseByteSize(*memBudget)
+	memoryBudget, err := parseByteSize(*memBudget)
 	if err != nil {
 		log.Fatalf("-memory-budget: %v", err)
+	}
+	slabBudget, err := parseByteSize(*slabFlag)
+	if err != nil {
+		log.Fatalf("-slab-budget: %v", err)
 	}
 	shardOpt, err := parseShardFlags(*shardRole, *peerList, *cacheDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*addr, *cacheDir, *maxModels, *seed, slabBudget, *timeout, *withPprof, shardOpt, flag.Args()); err != nil {
+	lim := limitsConfig{memoryBudget: memoryBudget, slabBudget: slabBudget, tableConcurrency: *tableConc}
+	if err := run(*addr, *cacheDir, *maxModels, *seed, lim, *timeout, *withPprof, shardOpt, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// limitsConfig carries the parsed resource-limit flags into run.
+type limitsConfig struct {
+	memoryBudget     int64 // process-wide governed budget (0 = ungoverned)
+	slabBudget       int64 // per-request slab spill threshold (0 = never spill)
+	tableConcurrency int   // concurrent selects per table (0 = unlimited)
 }
 
 // shardConfig is the validated form of the -shard-role/-shard-peers pair.
@@ -148,15 +171,20 @@ func parseByteSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
-func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, timeout time.Duration, withPprof bool, shardOpt shardConfig, preload []string) error {
+func run(addr, cacheDir string, maxModels int, seed int64, lim limitsConfig, timeout time.Duration, withPprof bool, shardOpt shardConfig, preload []string) error {
 	opt := subtab.DefaultOptions()
 	opt.Bins.Seed = seed
 	opt.Corpus.Seed = seed
 	opt.Embedding.Seed = seed
 	opt.ClusterSeed = seed
-	opt.Scale.SlabBudgetBytes = slabBudget
+	opt.Scale.SlabBudgetBytes = lim.slabBudget
 
-	sopt := serve.StoreOptions{MaxModels: maxModels, Dir: cacheDir}
+	var gov *memgov.Governor
+	if lim.memoryBudget > 0 {
+		gov = memgov.New(lim.memoryBudget)
+		log.Printf("memory governor: budget %d bytes", lim.memoryBudget)
+	}
+	sopt := serve.StoreOptions{MaxModels: maxModels, Dir: cacheDir, Governor: gov}
 	if shardOpt.role != "" {
 		// Workers and coordinators both load sharded models whose files are
 		// spread across instances; only the coordinator can sample the
@@ -179,6 +207,7 @@ func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, tim
 				// replacement generation, so replacing a sharded table
 				// invalidates samples gathered against its predecessor.
 				Generation: func() uint64 { return store.Generation(name) },
+				Governor:   gov,
 			}
 			sampler, err := serve.NewShardSampler(name, m, popt)
 			if err != nil {
@@ -191,6 +220,9 @@ func run(addr, cacheDir string, maxModels int, seed int64, slabBudget int64, tim
 	}
 	store = serve.NewStore(sopt)
 	svc := serve.NewService(store, opt)
+	if gov != nil || lim.tableConcurrency > 0 {
+		svc.SetAdmission(gov, lim.tableConcurrency)
+	}
 	if shardOpt.role != "" {
 		log.Printf("shard role: %s (peers: %s)", shardOpt.role, strings.Join(shardOpt.peers, ", "))
 	}

@@ -106,6 +106,17 @@ type ColumnBins struct {
 // NumBins returns the total number of bins, including the missing bin.
 func (cb *ColumnBins) NumBins() int { return len(cb.Labels) }
 
+// ApproxBytes estimates the heap bytes of the binning schema itself:
+// labels, cuts, and the category→bin map. Codes are accounted separately
+// by their owner (they dominate and may live out-of-core).
+func (cb *ColumnBins) ApproxBytes() int64 {
+	b := int64(len(cb.Cuts))*8 + int64(len(cb.CatToBin))*8
+	for _, l := range cb.Labels {
+		b += 16 + int64(len(l))
+	}
+	return b
+}
+
 // BinOfNum returns the bin of a numeric value (not for missing values).
 func (cb *ColumnBins) BinOfNum(v float64) int {
 	// Binary search over cuts: bin = first i with v <= Cuts[i].

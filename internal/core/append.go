@@ -222,8 +222,8 @@ func (m *Model) Append(rows *table.Table, opt AppendOptions) (*Model, AppendStat
 	// item vectors are frozen), new rows computed fresh. Rows that contain a
 	// newly trained item are recomputed so the cache stays bit-identical to
 	// what nm would build lazily.
-	if m.fullVecsReady.Load() {
-		stats.RecomputedVectors = m.extendFullVecsInto(nm, oldN)
+	if fv, ok := m.cachedFullVecs(); ok {
+		stats.RecomputedVectors = m.extendFullVecsInto(nm, oldN, fv)
 	}
 	return nm, stats, nil
 }
@@ -239,17 +239,19 @@ func (m *Model) rebin(newT *table.Table, stats *AppendStats, reason string) (*Mo
 	return nm, *stats, nil
 }
 
-// extendFullVecsInto builds nm's full-table tuple-vector matrix from m's
-// warm cache: pre-existing rows are copied (frozen item vectors make the
-// copy bit-identical to recomputation), except rows containing an item that
-// only now received a trained vector — those pooled over fewer cells in m
-// and must be recomputed. Appended rows are always computed fresh. Returns
-// the number of recomputed pre-existing rows.
-func (m *Model) extendFullVecsInto(nm *Model, oldN int) int {
+// extendFullVecsInto builds nm's full-table tuple-vector matrix from fv —
+// m's warm cache, captured by the caller via cachedFullVecs so a concurrent
+// eviction cannot pull it away mid-copy: pre-existing rows are copied
+// (frozen item vectors make the copy bit-identical to recomputation),
+// except rows containing an item that only now received a trained vector —
+// those pooled over fewer cells in m and must be recomputed. Appended rows
+// are always computed fresh. Returns the number of recomputed pre-existing
+// rows.
+func (m *Model) extendFullVecsInto(nm *Model, oldN int, fv f32.Matrix) int {
 	n := nm.T.NumRows()
 	mc := nm.T.NumCols()
 	mat := f32.New(n, nm.Emb.Dim())
-	copy(mat.Data[:oldN*mat.C], m.fullVecs.Data[:oldN*m.fullVecs.C])
+	copy(mat.Data[:oldN*mat.C], fv.Data[:oldN*fv.C])
 
 	cols := make([]int, mc)
 	for i := range cols {

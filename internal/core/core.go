@@ -122,9 +122,12 @@ type Model struct {
 	// budget, seed), and warm serving issues many scaled selections over
 	// the same model, so the one scan that dominates a scaled select's cost
 	// runs once per (model, budget) instead of once per display.
-	// Query-restricted selections always sample per call.
+	// Query-restricted selections always sample per call. sampleGen counts
+	// cache mutations (under sampleMu) and orders the byte settles with the
+	// governor (see governor.go).
 	sampleMu    sync.Mutex
 	sampleCache map[int][]int
+	sampleGen   uint64
 
 	// shardSampler, when set, produces scaled-path candidate samples for a
 	// model whose shards are partly remote (the coordinator role; see
@@ -141,11 +144,23 @@ type Model struct {
 	// displays — the warm serving steady state — reuse the matrix directly,
 	// and row-subset selections over the full column set copy rows out of
 	// it, because a tuple-vector depends only on the column set.
-	// fullVecsReady flips once the matrix is usable, so Append can extend a
-	// warm cache instead of discarding it.
-	fullVecsOnce  sync.Once
+	//
+	// All three fields are guarded by fullVecsMu; fullVecsReady is
+	// additionally an atomic so readers can skip the mutex when the cache is
+	// cold. The matrix's backing array is immutable once published, so
+	// readers take a header copy under the mutex (cachedFullVecs) and may
+	// keep using it after ReleaseVectorCache drops the model's reference —
+	// eviction racing an in-flight selection is safe by construction (the
+	// resettable sync.Once this replaces could tear mid-Do). fullVecsGen
+	// counts publications/releases and orders the governor byte settles.
+	fullVecsMu    sync.Mutex
 	fullVecs      f32.Matrix
+	fullVecsGen   uint64
 	fullVecsReady atomic.Bool
+
+	// gov, when set (SetGovernor), holds the memgov accounts the two caches
+	// above settle their resident bytes with. See governor.go.
+	gov atomic.Pointer[modelGov]
 }
 
 // indexItems builds the item-id → embedding-row index over the zero-copy
@@ -754,38 +769,76 @@ func (m *Model) centroidColumns(candCols, rows []int, need int, src binning.Code
 	return out
 }
 
-// fullRowVectors lazily builds (once per model) the tuple-vector matrix of
-// every row over the full column set, filled in parallel with disjoint
-// per-row writes. The arithmetic per row is exactly rowVectorInto's, so
-// cached vectors are bit-identical to freshly computed ones.
+// fullRowVectors lazily builds the tuple-vector matrix of every row over
+// the full column set, filled in parallel with disjoint per-row writes. The
+// arithmetic per row is exactly rowVectorInto's, so cached vectors are
+// bit-identical to freshly computed ones. The build runs under fullVecsMu
+// (single-flight: concurrent first selections block instead of building
+// twice), and the returned matrix header stays valid even if
+// ReleaseVectorCache evicts the cache mid-selection — callers hold their
+// own reference to the immutable backing array.
 func (m *Model) fullRowVectors() f32.Matrix {
-	m.fullVecsOnce.Do(func() {
-		n := m.T.NumRows()
-		cols := make([]int, m.T.NumCols())
-		for i := range cols {
-			cols[i] = i
+	if mat, ok := m.cachedFullVecs(); ok {
+		return mat
+	}
+	m.fullVecsMu.Lock()
+	if m.fullVecsReady.Load() {
+		mat := m.fullVecs
+		m.fullVecsMu.Unlock()
+		return mat
+	}
+	n := m.T.NumRows()
+	cols := make([]int, m.T.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	mat := f32.New(n, m.Emb.Dim())
+	f32.ParallelRange(n, f32.Workers(n), func(start, end int) {
+		idx := make([]int32, len(cols))
+		for r := start; r < end; r++ {
+			m.rowVectorInto(mat.Row(r), r, cols, idx)
 		}
-		mat := f32.New(n, m.Emb.Dim())
-		f32.ParallelRange(n, f32.Workers(n), func(start, end int) {
-			idx := make([]int32, len(cols))
-			for r := start; r < end; r++ {
-				m.rowVectorInto(mat.Row(r), r, cols, idx)
-			}
-		})
-		m.fullVecs = mat
-		m.fullVecsReady.Store(true)
 	})
-	return m.fullVecs
+	m.fullVecs = mat
+	m.fullVecsReady.Store(true)
+	m.fullVecsGen++
+	gen := m.fullVecsGen
+	m.fullVecsMu.Unlock()
+	// Settle outside the mutex: the grow may trigger store eviction, whose
+	// callback takes model mutexes. A release racing this settle wins by
+	// generation (its higher gen discards this one).
+	m.vecAccount().Settle(gen, int64(len(mat.Data))*4)
+	return mat
+}
+
+// cachedFullVecs returns a header copy of the warm full-table vector cache,
+// or ok=false when it is cold. The copy remains valid after a concurrent
+// ReleaseVectorCache (the backing array is immutable once published).
+func (m *Model) cachedFullVecs() (f32.Matrix, bool) {
+	if !m.fullVecsReady.Load() {
+		return f32.Matrix{}, false
+	}
+	m.fullVecsMu.Lock()
+	mat, ok := m.fullVecs, m.fullVecsReady.Load()
+	m.fullVecsMu.Unlock()
+	return mat, ok
 }
 
 // seedFullVecs installs a pre-built full-table tuple-vector matrix (the
-// append path extends the previous model's warm cache). No-op if the lazy
-// build already ran.
+// append path extends the previous model's warm cache). No-op if a cache is
+// already published.
 func (m *Model) seedFullVecs(mat f32.Matrix) {
-	m.fullVecsOnce.Do(func() {
-		m.fullVecs = mat
-		m.fullVecsReady.Store(true)
-	})
+	m.fullVecsMu.Lock()
+	if m.fullVecsReady.Load() {
+		m.fullVecsMu.Unlock()
+		return
+	}
+	m.fullVecs = mat
+	m.fullVecsReady.Store(true)
+	m.fullVecsGen++
+	gen := m.fullVecsGen
+	m.fullVecsMu.Unlock()
+	m.vecAccount().Settle(gen, int64(len(mat.Data))*4)
 }
 
 // identityCols reports whether cols is exactly 0..mc-1.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"subtab/internal/colstore"
 	"subtab/internal/f32"
@@ -126,15 +125,32 @@ func (m *Model) residentTable() (*table.Table, error) {
 
 // ReleaseVectorCache frees the model's full-table tuple-vector cache and the
 // memoized candidate samples — the two per-model caches that grow with the
-// table. Serving layers call it when a model leaves the warm set (store
-// eviction), so an evicted tenant's O(rows×dim) cache does not outlive its
-// residency even while other references to the model exist. Not safe to
-// race in-flight selections on this model.
+// table — and settles both to zero bytes with the governor. Serving layers
+// call it when a model leaves the warm set (store eviction), so an evicted
+// tenant's O(rows×dim) cache does not outlive its residency even while
+// other references to the model exist. Safe to race in-flight selections:
+// a selection that already took a header copy of the matrix keeps its
+// (immutable) backing array; a build racing this release re-publishes and
+// re-accounts under a later generation. Safe to call under the serving
+// store's mutex — the settles here only ever shrink, and Shrink never runs
+// eviction callbacks.
 func (m *Model) ReleaseVectorCache() {
+	m.fullVecsMu.Lock()
 	m.fullVecsReady.Store(false)
 	m.fullVecs = f32.Matrix{}
-	m.fullVecsOnce = sync.Once{}
+	m.fullVecsGen++
+	vgen := m.fullVecsGen
+	m.fullVecsMu.Unlock()
+	m.vecAccount().Settle(vgen, 0)
+
 	m.sampleMu.Lock()
 	m.sampleCache = nil
+	m.sampleGen++
+	sgen := m.sampleGen
 	m.sampleMu.Unlock()
+	m.sampleAccount().Settle(sgen, 0)
+
+	if r, ok := m.shardSampler.(CacheReleaser); ok {
+		r.ReleaseCache()
+	}
 }

@@ -75,8 +75,8 @@ func (m *Model) sampleCandidates(rows, cols []int, budget int) []int {
 		return stratifiedReservoir(m.B, rows, cols, budget, seed)
 	}
 	m.sampleMu.Lock()
-	defer m.sampleMu.Unlock()
 	if s, ok := m.sampleCache[budget]; ok {
+		m.sampleMu.Unlock()
 		return s
 	}
 	s := stratifiedReservoir(m.B, rows, cols, budget, seed)
@@ -88,6 +88,13 @@ func (m *Model) sampleCandidates(rows, cols []int, budget int) []int {
 		clear(m.sampleCache)
 	}
 	m.sampleCache[budget] = s
+	bytes := sampleCacheBytes(m.sampleCache)
+	m.sampleGen++
+	gen := m.sampleGen
+	m.sampleMu.Unlock()
+	// Settle outside sampleMu: the grow may run the store's evictor, which
+	// takes this very mutex via ReleaseVectorCache.
+	m.sampleAccount().Settle(gen, bytes)
 	return s
 }
 
@@ -108,8 +115,8 @@ func (m *Model) sampledRowSlab(rows, cols []int, scale ScaleOptions, src binning
 	if scale.SlabBudgetBytes <= 0 || need <= scale.SlabBudgetBytes {
 		buf := getVecBuf(len(rows) * dim)
 		mat := f32.Wrap(len(rows), dim, *buf)
-		if src == nil && identityCols(cols, m.T.NumCols()) && m.fullVecsReady.Load() {
-			f32.GatherRows(mat, m.fullVecs, rows)
+		if fv, ok := m.cachedFullVecs(); ok && src == nil && identityCols(cols, m.T.NumCols()) {
+			f32.GatherRows(mat, fv, rows)
 		} else {
 			m.gatherTupleVectors(mat, rows, cols, src)
 		}

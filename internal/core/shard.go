@@ -31,6 +31,17 @@ type ShardSampler interface {
 	Sample(cols []int, budget int) (rows []int, codes binning.CodeSource, err error)
 }
 
+// CacheReleaser is the optional extension a ShardSampler implements when it
+// holds governed cross-request caches (a coordinator's per-(budget, cols)
+// sample results). ReleaseVectorCache forwards to it so evicting a model
+// from a serving store also drops — and settles to zero — the coordinator
+// bytes keyed to it. Implementations must only shrink governed balances
+// (never call back into eviction), because the release may run under the
+// serving store's mutex.
+type CacheReleaser interface {
+	ReleaseCache()
+}
+
 // SetShardSampler installs the scatter/gather sampler consulted when the
 // model's shards are partly remote. Install before the model starts
 // serving; it must not race in-flight selections.

@@ -13,6 +13,7 @@ import (
 
 	"subtab/internal/binning"
 	"subtab/internal/core"
+	"subtab/internal/memgov"
 	"subtab/internal/query"
 	"subtab/internal/rules"
 	"subtab/internal/shard"
@@ -107,6 +108,18 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		// Load shed: tell the client when to come back. The admission error
+		// carries a back-off hint; concurrency-limit sheds clear in one
+		// request time, so a second is plenty for both.
+		status = http.StatusTooManyRequests
+		retry := time.Second
+		var ob *memgov.ErrOverBudget
+		if errors.As(err, &ob) && ob.RetryAfter > 0 {
+			retry = ob.RetryAfter
+		}
+		secs := int((retry + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -116,11 +129,16 @@ func writeBadRequest(w http.ResponseWriter, format string, args ...any) {
 }
 
 func (h *api) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status": "ok",
 		"tables": len(h.svc.Tables()),
 		"cache":  h.svc.Store().Stats(),
-	})
+	}
+	if g := h.svc.Governor(); g != nil {
+		resp["memory"] = g.Stats()
+		resp["concurrency_shed"] = h.svc.LimiterRejections()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *api) listTables(w http.ResponseWriter, r *http.Request) {

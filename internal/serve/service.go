@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"subtab/internal/core"
+	"subtab/internal/memgov"
 	"subtab/internal/query"
 	"subtab/internal/rules"
 	"subtab/internal/shard"
@@ -25,6 +26,12 @@ var ErrExists = errors.New("serve: table already exists")
 // the caller's to fix; the HTTP layer maps this to 400.
 var ErrBadRequest = errors.New("serve: bad request")
 
+// ErrOverloaded wraps load-shedding refusals: a select whose estimated
+// working set cannot be admitted under the memory budget, or a table
+// already at its concurrency limit. The request is valid and may well
+// succeed later — the HTTP layer maps this to 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: overloaded")
+
 // Service exposes SubTab's interactive operations — select, select-query,
 // mine-rules, highlight — over named tables, backed by a Store so that each
 // table's pre-processing happens once no matter how many concurrent sessions
@@ -34,6 +41,13 @@ var ErrBadRequest = errors.New("serve: bad request")
 type Service struct {
 	store    *Store
 	defaults core.Options
+
+	// gov and limiter, when set (SetAdmission), shed selects at the door:
+	// gov admits each select's estimated transient working set against the
+	// process budget, limiter bounds per-table concurrency. Both are
+	// nil-safe, so the ungoverned path has no branches to configure.
+	gov     *memgov.Governor
+	limiter *memgov.Limiter
 
 	rulesMu    sync.Mutex
 	rulesGen   map[string]uint64 // bumped on replace/remove; guards cache inserts
@@ -61,6 +75,23 @@ func NewService(store *Store, defaults core.Options) *Service {
 
 // Store returns the underlying model store (for stats reporting).
 func (s *Service) Store() *Store { return s.store }
+
+// SetAdmission installs request admission control: selects reserve their
+// estimated working set with gov (failure sheds with ErrOverloaded → 429)
+// and at most perTable selects run concurrently against one table
+// (perTable <= 0 disables the limit). Call before serving; typically gov
+// is the same governor the store was built with.
+func (s *Service) SetAdmission(gov *memgov.Governor, perTable int) {
+	s.gov = gov
+	s.limiter = memgov.NewLimiter(perTable)
+}
+
+// Governor returns the installed admission governor (nil when ungoverned).
+func (s *Service) Governor() *memgov.Governor { return s.gov }
+
+// LimiterRejections returns how many requests the per-table concurrency
+// limit shed.
+func (s *Service) LimiterRejections() int64 { return s.limiter.Rejected() }
 
 // TableInfo describes one table known to the service. Rows, Cols and
 // Columns are filled only for models resident in memory; disk-only models
@@ -410,17 +441,61 @@ func (s *Service) Select(name string, q *query.Query, k, l int, targets []string
 // selection mode: scale nil uses the model's configured core.Options.Scale,
 // anything else replaces it for this request only. Selections stay safe for
 // any level of concurrency — the scaled path samples and clusters into
-// request-local state, exactly like the exact path.
+// request-local state, exactly like the exact path. With admission control
+// installed (SetAdmission), the request's estimated working set is reserved
+// under the memory budget for the duration of the select and the per-table
+// concurrency limit applies; refusals return ErrOverloaded.
 func (s *Service) SelectScaled(name string, q *query.Query, k, l int, targets []string, scale *core.ScaleOptions) (*core.SubTable, error) {
+	release, ok := s.limiter.Acquire(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q is at its concurrency limit", ErrOverloaded, name)
+	}
+	defer release()
 	m, err := s.store.Get(name)
 	if err != nil {
 		return nil, err
 	}
+	done, err := s.gov.Admit(memgov.ClassRequests, estimateSelectBytes(m, scale))
+	if err != nil {
+		// Keep the *memgov.ErrOverBudget in the chain: the HTTP layer reads
+		// its Retry-After hint off the wrapped error.
+		return nil, fmt.Errorf("%w: select on %q: %w", ErrOverloaded, name, err)
+	}
+	defer done()
 	st, err := m.SelectWith(q, k, l, targets, scale)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return st, nil
+}
+
+// estimateSelectBytes is the transient working set a select reserves under
+// memgov.ClassRequests: the tuple-vector slab it materializes (the dominant
+// allocation) plus the candidate index. Scaled selects size by the sample
+// budget (capped by the slab spill budget when one is set — the spill path
+// keeps only one chunk resident); exact selects size by the full row count.
+// The estimate is deliberately on the reserve side of truth: pooled buffers
+// and k-means state ride inside it.
+func estimateSelectBytes(m *core.Model, scale *core.ScaleOptions) int64 {
+	sc := m.Opt.Scale
+	if scale != nil {
+		sc = *scale
+	}
+	rows := int64(m.T.NumRows())
+	dim := int64(m.Emb.Dim())
+	if sc.Active(int(rows)) {
+		budget := int64(sc.SampleBudget)
+		if budget <= 0 {
+			budget = 20000 // ScaleOptions default
+		}
+		n := min(budget, rows)
+		slab := n * dim * 4
+		if sc.SlabBudgetBytes > 0 && slab > sc.SlabBudgetBytes {
+			slab = sc.SlabBudgetBytes
+		}
+		return slab + n*8
+	}
+	return rows * dim * 4
 }
 
 // Rules mines association rules over the named table's binned

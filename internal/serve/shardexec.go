@@ -34,6 +34,7 @@ import (
 
 	"subtab/internal/binning"
 	"subtab/internal/core"
+	"subtab/internal/memgov"
 	"subtab/internal/shard"
 )
 
@@ -163,6 +164,12 @@ type ShardPeersOptions struct {
 	// serving its rows forever. Nil keeps the pre-generation behaviour
 	// (cache entries live as long as the sampler).
 	Generation func() uint64
+	// Governor, when non-nil, byte-accounts the sampler's cross-request
+	// sample cache under memgov.ClassCoordCache. The cache stays bounded by
+	// entry count regardless; the governor sees its true byte weight (the
+	// candidate overlays dominate a coordinator's heap) and reclaims it when
+	// the serving store evicts the model (via core.CacheReleaser).
+	Governor *memgov.Governor
 }
 
 // NewShardSampler builds the coordinator side of the protocol: a
@@ -198,6 +205,7 @@ func NewShardSampler(name string, m *core.Model, opt ShardPeersOptions) (core.Sh
 		src:   src,
 		opt:   opt,
 		cache: make(map[string]sampleResult),
+		acct:  opt.Governor.Account(memgov.ClassCoordCache),
 	}
 	if sc := m.ShardCells(); sc != nil && !sc.Complete() {
 		if len(opt.Peers) == 0 {
@@ -213,15 +221,19 @@ type shardSampler struct {
 	m    *core.Model
 	src  *shard.Source
 	opt  ShardPeersOptions
+	acct *memgov.Account // coord-cache settlement (nil when ungoverned)
 
-	mu    sync.Mutex
-	cache map[string]sampleResult // per (budget, cols): scatter round trips are the expensive half of a scaled select
+	mu         sync.Mutex
+	cache      map[string]sampleResult // per (budget, cols): scatter round trips are the expensive half of a scaled select
+	cacheBytes int64                   // Σ entry bytes, settled with acct after every mutation
+	cacheGen   uint64                  // bumped under mu on every mutation; orders the settles
 }
 
 type sampleResult struct {
 	rows    []int
 	overlay *shard.SparseSource
 	gen     uint64 // ShardPeersOptions.Generation at fill time
+	bytes   int64  // estimated residency: rows + overlay rows + overlay codes
 }
 
 // Sample runs one full scatter/gather round: scan or fetch every
@@ -247,8 +259,14 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 			return append([]int(nil), r.rows...), r.overlay, nil
 		}
 		delete(s.cache, key)
+		s.cacheBytes -= r.bytes
+		s.cacheGen++
+		cg, cb := s.cacheGen, s.cacheBytes
+		s.mu.Unlock()
+		s.acct.Settle(cg, cb)
+	} else {
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	seed := s.m.SampleSeed()
 	nCols := s.m.T.NumCols()
@@ -324,13 +342,36 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 		return nil, nil, fmt.Errorf("serve: assembling sampled overlay for %q: %w", s.name, err)
 	}
 
+	// Entry weight: the cached pick order plus the overlay's row ids and its
+	// per-column uint16 codes (slice headers ignored; the payloads dominate).
+	rb := int64(len(rows))*8 + int64(len(allRows))*(8+2*int64(nCols))
 	s.mu.Lock()
 	if len(s.cache) >= 8 {
 		clear(s.cache)
+		s.cacheBytes = 0
 	}
-	s.cache[key] = sampleResult{rows: rows, overlay: overlay, gen: gen}
+	s.cache[key] = sampleResult{rows: rows, overlay: overlay, gen: gen, bytes: rb}
+	s.cacheBytes += rb
+	s.cacheGen++
+	cg, cb := s.cacheGen, s.cacheBytes
 	s.mu.Unlock()
+	s.acct.Settle(cg, cb)
 	return append([]int(nil), rows...), overlay, nil
+}
+
+// ReleaseCache drops the coordinator's cross-request sample cache and
+// settles its governed bytes to zero — the core.CacheReleaser hook
+// core.Model.ReleaseVectorCache forwards to, so a store eviction reclaims
+// the coordinator bytes keyed to the model. Settling to zero only ever
+// shrinks, so this is safe under the serving store's mutex.
+func (s *shardSampler) ReleaseCache() {
+	s.mu.Lock()
+	clear(s.cache)
+	s.cacheBytes = 0
+	s.cacheGen++
+	cg := s.cacheGen
+	s.mu.Unlock()
+	s.acct.Settle(cg, 0)
 }
 
 // fetch posts the sample request for shard idx, rotating through peers

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"subtab/internal/core"
+	"subtab/internal/memgov"
 	"subtab/internal/modelio"
 	"subtab/internal/shard"
 )
@@ -58,6 +59,15 @@ type StoreOptions struct {
 	// its shard-peer sampler to reloaded sharded models. It must be safe
 	// for concurrent use and must not mutate models already serving.
 	PrepareModel func(name string, m *core.Model) error
+	// Governor, when non-nil, byte-accounts every resident model under
+	// memgov.ClassModels (each entry weighted by core.Model.ResidentBytes)
+	// and registers a cold-end eviction callback, turning the LRU from
+	// entry-counted into byte-weighted: any consumer growing past the
+	// process budget sheds this store's cold models first. MaxModels stays
+	// as a count backstop. Models inserted into a governed store also get
+	// core.Model.SetGovernor, so their vector/sample caches settle under
+	// their own classes.
+	Governor *memgov.Governor
 }
 
 // StoreStats are cumulative counters describing cache behavior.
@@ -85,6 +95,13 @@ type Store struct {
 type storeEntry struct {
 	name  string
 	model *core.Model
+	// bytes is the model's ResidentBytes estimate, accounted under
+	// memgov.ClassModels while the entry lives (0 on ungoverned stores).
+	// Grows are issued by the insert wrapper after s.mu is released; every
+	// removal path (evict, replace, Remove) Shrinks exactly once under
+	// s.mu — Shrink is exact and never runs evictors, so the pairing nets
+	// correctly whichever side lands first.
+	bytes int64
 }
 
 // flightCall deduplicates concurrent builds of the same table.
@@ -100,7 +117,7 @@ func NewStore(opt StoreOptions) *Store {
 	if opt.MaxModels <= 0 {
 		opt.MaxModels = DefaultMaxModels
 	}
-	return &Store{
+	s := &Store{
 		opt:      opt,
 		lru:      list.New(),
 		entries:  make(map[string]*list.Element),
@@ -108,6 +125,54 @@ func NewStore(opt StoreOptions) *Store {
 		gen:      make(map[string]uint64),
 		nameMu:   make(map[string]*sync.Mutex),
 	}
+	if opt.Governor != nil {
+		// Registered under its own label, not ClassModels: the skip rule
+		// exempts a class's own evictors from reclaims that class triggers,
+		// but a model insert growing past the budget is exactly when the
+		// cold end should shed — and the insert's Grow runs outside s.mu,
+		// so self-eviction cannot deadlock. The callback never evicts the
+		// hottest entry (the one just inserted or being served).
+		opt.Governor.RegisterEvictor("store-lru", s.reclaimModels)
+	}
+	return s
+}
+
+// reclaimModels is the governor's eviction callback: drop cold-end LRU
+// entries (disk-backed stores) or at least their per-model caches
+// (memory-only stores, which must not unregister tables) until need bytes
+// were freed or only the hottest entry remains. Runs without the governor
+// lock held, per the memgov contract.
+func (s *Store) reclaimModels(need int64) int64 {
+	var freed int64
+	for freed < need {
+		s.mu.Lock()
+		back := s.lru.Back()
+		if back == nil || back == s.lru.Front() {
+			s.mu.Unlock()
+			break
+		}
+		if s.opt.Dir == "" {
+			// Nowhere to reload from: keep every entry, but release the cold
+			// half's rebuildable caches, coldest first.
+			var released int64
+			for el := back; el != nil && el != s.lru.Front() && freed+released < need; el = el.Prev() {
+				ent := el.Value.(*storeEntry)
+				released += ent.model.CacheBytes()
+				ent.model.ReleaseVectorCache()
+			}
+			s.mu.Unlock()
+			return freed + released
+		}
+		ent := s.lru.Remove(back).(*storeEntry)
+		delete(s.entries, ent.name)
+		s.opt.Governor.Shrink(memgov.ClassModels, ent.bytes)
+		cacheBytes := ent.model.CacheBytes()
+		ent.model.ReleaseVectorCache()
+		s.evictions.Add(1)
+		s.mu.Unlock()
+		freed += ent.bytes + cacheBytes
+	}
+	return freed
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -197,9 +262,7 @@ func (s *Store) commit(name string, m *core.Model, built bool, startGen uint64) 
 			return nil, fmt.Errorf("serve: persisting model %q: %w", name, err)
 		}
 	}
-	s.mu.Lock()
-	s.insertLocked(name, m)
-	s.mu.Unlock()
+	s.insert(name, m)
 	return m, nil
 }
 
@@ -260,10 +323,14 @@ func (s *Store) putLocked(name string, m *core.Model) error {
 			return fmt.Errorf("serve: persisting model %q: %w", name, err)
 		}
 	}
+	if s.opt.Governor != nil {
+		m.SetGovernor(s.opt.Governor)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.gen[name]++
-	s.insertLocked(name, m)
+	grow := s.insertLocked(name, m)
+	s.mu.Unlock()
+	s.opt.Governor.Grow(memgov.ClassModels, grow)
 	return nil
 }
 
@@ -305,9 +372,7 @@ func (s *Store) Update(name string, fn func(*core.Model) (*core.Model, error)) (
 		// persist, no generation bump, no rules-cache churn — but a model
 		// that was just deserialized from disk is worth keeping in memory,
 		// or the next request pays the whole load again.
-		s.mu.Lock()
-		s.insertLocked(name, cur)
-		s.mu.Unlock()
+		s.insert(name, cur)
 		return cur, nil
 	}
 	if s.opt.Dir != "" {
@@ -315,10 +380,14 @@ func (s *Store) Update(name string, fn func(*core.Model) (*core.Model, error)) (
 			return nil, fmt.Errorf("serve: persisting model %q: %w", name, err)
 		}
 	}
+	if s.opt.Governor != nil {
+		next.SetGovernor(s.opt.Governor)
+	}
 	s.mu.Lock()
 	s.gen[name]++
-	s.insertLocked(name, next)
+	grow := s.insertLocked(name, next)
 	s.mu.Unlock()
+	s.opt.Governor.Grow(memgov.ClassModels, grow)
 	return next, nil
 }
 
@@ -361,8 +430,12 @@ func (s *Store) Remove(name string) {
 	s.mu.Lock()
 	s.gen[name]++
 	if el, ok := s.entries[name]; ok {
-		s.lru.Remove(el)
+		ent := s.lru.Remove(el).(*storeEntry)
 		delete(s.entries, name)
+		// Unaccount and release like an eviction: the table is gone, its
+		// caches must not outlive it through stray model references.
+		s.opt.Governor.Shrink(memgov.ClassModels, ent.bytes)
+		ent.model.ReleaseVectorCache()
 	}
 	s.mu.Unlock()
 	if s.opt.Dir != "" {
@@ -425,17 +498,46 @@ func (s *Store) MemoryLen() int {
 	return len(s.entries)
 }
 
-// insertLocked adds a model to the LRU, evicting from the cold end past
-// MaxModels. Callers hold s.mu.
-func (s *Store) insertLocked(name string, m *core.Model) {
-	if el, ok := s.entries[name]; ok {
-		el.Value.(*storeEntry).model = m
-		s.lru.MoveToFront(el)
-		return
+// insert wires a model into the cache and the governor: it registers the
+// model with the governor (so its caches settle under their own classes),
+// inserts under s.mu, and issues the entry's ClassModels grow after s.mu is
+// released — Grow may run eviction callbacks, which take s.mu.
+func (s *Store) insert(name string, m *core.Model) {
+	if s.opt.Governor != nil {
+		m.SetGovernor(s.opt.Governor)
 	}
-	s.entries[name] = s.lru.PushFront(&storeEntry{name: name, model: m})
+	s.mu.Lock()
+	grow := s.insertLocked(name, m)
+	s.mu.Unlock()
+	s.opt.Governor.Grow(memgov.ClassModels, grow)
+}
+
+// insertLocked adds a model to the LRU, evicting from the cold end past
+// MaxModels. Callers hold s.mu; the returned byte count must be Grown under
+// memgov.ClassModels once s.mu is released (use insert unless already
+// holding s.mu for other bookkeeping).
+func (s *Store) insertLocked(name string, m *core.Model) (grow int64) {
+	if el, ok := s.entries[name]; ok {
+		ent := el.Value.(*storeEntry)
+		s.lru.MoveToFront(el)
+		if ent.model == m {
+			return 0 // refresh only (e.g. a zero-row append): nothing changes
+		}
+		// Replacement: unaccount and release the predecessor — it left the
+		// warm set for good (the generation bumped), and in-flight selections
+		// on it keep their own references to whatever they already resolved.
+		old := ent.model
+		s.opt.Governor.Shrink(memgov.ClassModels, ent.bytes)
+		old.ReleaseVectorCache()
+		ent.model = m
+		ent.bytes = s.modelBytes(m)
+		return ent.bytes
+	}
+	ent := &storeEntry{name: name, model: m, bytes: s.modelBytes(m)}
+	s.entries[name] = s.lru.PushFront(ent)
+	grow = ent.bytes
 	if s.opt.Dir == "" {
-		return // nowhere to reload from: never evict (see StoreOptions)
+		return grow // nowhere to reload from: never evict (see StoreOptions)
 	}
 	for len(s.entries) > s.opt.MaxModels {
 		back := s.lru.Back()
@@ -444,14 +546,26 @@ func (s *Store) insertLocked(name string, m *core.Model) {
 		}
 		ev := s.lru.Remove(back).(*storeEntry)
 		delete(s.entries, ev.name)
+		s.opt.Governor.Shrink(memgov.ClassModels, ev.bytes)
 		// Release the evicted model's per-tenant caches (full tuple-vector
 		// matrix, memoized samples) now: other references — a disk reload
 		// that resurrects the entry, an in-flight selection — would otherwise
 		// keep an O(rows×dim) cache alive for a table that left the warm set.
-		// A selection racing the eviction rebuilds the cache it needs.
+		// A selection racing the eviction rebuilds the cache it needs (and
+		// keeps the backing array it already resolved; see core).
 		ev.model.ReleaseVectorCache()
 		s.evictions.Add(1)
 	}
+	return grow
+}
+
+// modelBytes is the entry weight of a model in a governed store (0 when
+// ungoverned, keeping that path allocation- and scan-free).
+func (s *Store) modelBytes(m *core.Model) int64 {
+	if s.opt.Governor == nil {
+		return 0
+	}
+	return m.ResidentBytes()
 }
 
 // modelExt is the on-disk model file suffix; codesExt is appended to the

@@ -313,6 +313,29 @@ func (t *Table) DropCells() {
 // paged mode; reads must go through a CellSource).
 func (t *Table) CellsResident() bool { return !t.paged }
 
+// ApproxBytes estimates the heap bytes of the table's resident cell
+// payloads: numeric values, categorical codes, and dictionary strings
+// (string header + bytes, interned once per distinct value; the reverse
+// index is counted at the same cost as the forward slice). Zero for a
+// paged table. The estimate feeds the serving layer's byte-weighted
+// accounting, so it aims at proportionality, not malloc-exact truth.
+func (t *Table) ApproxBytes() int64 {
+	if t.paged {
+		return 0
+	}
+	var b int64
+	for _, c := range t.cols {
+		b += int64(len(c.Nums)) * 8
+		b += int64(len(c.Cats)) * 4
+		if c.Dict != nil {
+			for _, s := range c.Dict.strs {
+				b += 2 * (16 + int64(len(s))) // forward slice + reverse map
+			}
+		}
+	}
+	return b
+}
+
 // MarkPaged puts a schema-only table (columns with empty payloads, as
 // deserialized from a paged model file) into paged mode with the given row
 // count.

@@ -147,6 +147,14 @@ func Restore(dim int, tokens []int32, vecs, ctx []float32) (*Model, error) {
 // VocabSize returns the number of distinct tokens.
 func (m *Model) VocabSize() int { return len(m.tokens) }
 
+// ApproxBytes estimates the model's resident heap bytes: both vector
+// matrices, the token list, and the token→index map (~24 bytes per entry
+// counted flat).
+func (m *Model) ApproxBytes() int64 {
+	return int64(len(m.vecs))*4 + int64(len(m.ctx))*4 +
+		int64(len(m.tokens))*4 + int64(len(m.vocab))*24
+}
+
 // HasToken reports whether the token was seen in training.
 func (m *Model) HasToken(tok int32) bool {
 	_, ok := m.vocab[tok]
