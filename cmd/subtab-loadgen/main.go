@@ -18,11 +18,19 @@
 // JSON file. CI gates on it:
 //
 //	GOMEMLIMIT=512MiB subtab-loadgen -tables 200 -memory-budget 64MiB \
-//	    -assert-p99 2s -assert-rss 512MiB -assert-governor -out BENCH_PR9.json
+//	    -filtered -assert-p99 2s -assert-filtered-p99 2s \
+//	    -assert-rss 512MiB -assert-governor -out BENCH_PR9.json
 //
-// -assert-p99 bounds the select p99, -assert-rss bounds VmHWM,
-// -assert-governor requires the governed peak to stay within
-// -memory-budget; any 5xx response or transport error is a hard failure.
+// -filtered mixes /v1 exploration-session traffic into the select share:
+// workers open sessions, run predicate-scoped streaming selects through
+// POST /v1/sessions/{id}/select and drill into the returned views. Sessions
+// stranded by replace traffic (409/404) are reopened, exercising the
+// staleness path under real contention.
+//
+// -assert-p99 bounds the select p99, -assert-filtered-p99 the
+// session-select p99, -assert-rss bounds VmHWM, -assert-governor requires
+// the governed peak to stay within -memory-budget; any 5xx response or
+// transport error is a hard failure.
 package main
 
 import (
@@ -68,7 +76,9 @@ func main() {
 		maxModels  = flag.Int("max-models", 256, "server's in-memory model count backstop")
 		out        = flag.String("out", "BENCH_PR9.json", "subtab-bench-format JSON file to merge results into")
 		label      = flag.String("label", "current", "label to record results under")
+		filtered   = flag.Bool("filtered", false, "mix /v1 session predicate-scoped selects and drill-downs into the select share")
 		assertP99  = flag.Duration("assert-p99", 0, "fail unless select p99 is at or under this (0 = no assertion)")
+		assertFP99 = flag.Duration("assert-filtered-p99", 0, "fail unless the /v1 filtered-select p99 is at or under this (0 = no assertion)")
 		assertRSS  = flag.String("assert-rss", "", "fail unless peak RSS (VmHWM) is at or under this byte size (empty = no assertion)")
 		assertGov  = flag.Bool("assert-governor", false, "fail if the governor's peak tracked bytes exceeded -memory-budget")
 		appendRows = flag.Int("append-rows", 10, "rows per append chunk")
@@ -132,7 +142,13 @@ func main() {
 		table := int(w.zipf.Uint64())
 		switch p := w.rng.Intn(100); {
 		case p < *selectPct:
-			h.sel(w, table)
+			// With -filtered, half the select share goes through the /v1
+			// session surface (p's parity keeps the split deterministic).
+			if *filtered && p%2 == 1 {
+				h.filteredSel(w, table)
+			} else {
+				h.sel(w, table)
+			}
 		case p < *selectPct+*queryPct:
 			h.query(w, table)
 		case p < *selectPct+*queryPct+*appendPct:
@@ -156,7 +172,7 @@ func main() {
 	}
 
 	results := map[string]entry{}
-	for _, op := range []string{"upload", "select", "query", "append"} {
+	for _, op := range []string{"upload", "select", "query", "append", "session", "filtered", "drilldown"} {
 		lat := h.latencies(op)
 		if len(lat) == 0 {
 			continue
@@ -188,6 +204,17 @@ func main() {
 	if *assertP99 > 0 {
 		if lat := h.latencies("select"); len(lat) > 0 && percentile(lat, 99) > *assertP99 {
 			log.Printf("ASSERT FAILED: select p99 %s > %s", percentile(lat, 99), *assertP99)
+			failed = true
+		}
+	}
+	if *assertFP99 > 0 {
+		lat := h.latencies("filtered")
+		switch {
+		case len(lat) == 0:
+			log.Print("ASSERT FAILED: -assert-filtered-p99 needs -filtered traffic, but no filtered select succeeded")
+			failed = true
+		case percentile(lat, 99) > *assertFP99:
+			log.Printf("ASSERT FAILED: filtered select p99 %s > %s", percentile(lat, 99), *assertFP99)
 			failed = true
 		}
 	}
@@ -250,7 +277,18 @@ type workerState struct {
 	rng  *rand.Rand
 	zipf *rand.Zipf
 	ops  int64 // per-worker op counter, salts append/replace seeds
+
+	// sessions caches this worker's open /v1 session per table, with
+	// sessOrder tracking insertion order so eviction under the cap is
+	// deterministic (map iteration is not).
+	sessions  map[int]string
+	sessOrder []int
 }
+
+// maxWorkerSessions caps each worker's cached sessions so the fleet stays
+// under the server's session limit (workers × cap < 1024); the oldest is
+// closed server-side and reopened on next use.
+const maxWorkerSessions = 96
 
 func newHarness(client *http.Client, baseURL string, seed int64, tables, rowsMin, rowsMax, chunk int, zipfS float64) *harness {
 	return &harness{
@@ -381,6 +419,119 @@ func (h *harness) append(w *workerState, i int) {
 		return
 	}
 	h.do("append", http.MethodPost, h.baseURL+"/tables/"+h.tableName(i)+"/append", body.Bytes())
+}
+
+// sessionFor returns the worker's live /v1 session on table i, opening one
+// on first use (evicting its oldest cached session past the cap). Empty
+// string means the open was shed or failed — the op is skipped.
+func (h *harness) sessionFor(w *workerState, i int) string {
+	if id, ok := w.sessions[i]; ok {
+		return id
+	}
+	if w.sessions == nil {
+		w.sessions = make(map[int]string)
+	}
+	for len(w.sessOrder) >= maxWorkerSessions {
+		old := w.sessOrder[0]
+		w.sessOrder = w.sessOrder[1:]
+		if id, ok := w.sessions[old]; ok {
+			delete(w.sessions, old)
+			h.doStatus("session", http.MethodDelete, h.baseURL+"/v1/sessions/"+id, nil)
+		}
+	}
+	body := fmt.Sprintf(`{"table":%q}`, h.tableName(i))
+	status, resp := h.doStatus("session", http.MethodPost, h.baseURL+"/v1/sessions", []byte(body))
+	if status != http.StatusCreated {
+		return ""
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(resp, &out); err != nil || out.Session == "" {
+		h.errs.set(fmt.Sprintf("session create: bad body %q", resp))
+		return ""
+	}
+	w.sessions[i] = out.Session
+	w.sessOrder = append(w.sessOrder, i)
+	return out.Session
+}
+
+// filteredSel runs one predicate-scoped select through the worker's session
+// on table i, reopening the session once if replace traffic stranded it
+// (409/404 — the staleness contract, not a failure), and drills into a
+// third of the returned views.
+func (h *harness) filteredSel(w *workerState, i int) {
+	w.ops++
+	ds, err := datagen.ByName(h.tableDataset(i), 1, h.seed+int64(i))
+	if err != nil {
+		h.errs.set(fmt.Sprintf("datagen %s: %v", h.tableDataset(i), err))
+		return
+	}
+	col := ds.T.ColumnNames()[0]
+	drill := w.rng.Intn(3) == 0
+	for attempt := 0; attempt < 2; attempt++ {
+		id := h.sessionFor(w, i)
+		if id == "" {
+			return
+		}
+		req := fmt.Sprintf(`{"k":5,"l":4,"where":[{"col":%q,"op":"not_missing"}],"weights":{"view_count":0.5}}`, col)
+		status, resp := h.doStatus("filtered", http.MethodPost, h.baseURL+"/v1/sessions/"+id+"/select", []byte(req))
+		if status == http.StatusNotFound || status == http.StatusConflict {
+			delete(w.sessions, i)
+			continue
+		}
+		if status != http.StatusOK || !drill {
+			return
+		}
+		var view struct {
+			SourceRows []int    `json:"source_rows"`
+			Cols       []string `json:"cols"`
+		}
+		if json.Unmarshal(resp, &view) != nil || len(view.SourceRows) == 0 || len(view.Cols) == 0 {
+			return
+		}
+		dd := fmt.Sprintf(`{"row":%d,"col":%q,"k":4,"l":3}`, view.SourceRows[0], view.Cols[0])
+		h.doStatus("drilldown", http.MethodPost, h.baseURL+"/v1/sessions/"+id+"/drilldown", []byte(dd))
+		return
+	}
+}
+
+// doStatus is do for the session surface: it returns the status and body,
+// tolerates 404/409 (sessions stranded by replace traffic — the caller
+// reopens) and counts 429s as shed; 5xx stays a hard failure.
+func (h *harness) doStatus(op, method, url string, body []byte) (int, []byte) {
+	start := time.Now()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		h.errs.set(fmt.Sprintf("%s: %v", op, err))
+		return 0, nil
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.errs.set(fmt.Sprintf("%s %s: %v", op, url, err))
+		return 0, nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	took := time.Since(start)
+	switch {
+	case resp.StatusCode < 300:
+		h.mu.Lock()
+		h.lats[op] = append(h.lats[op], took)
+		h.counts[op]++
+		h.mu.Unlock()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			h.errs.set(fmt.Sprintf("%s: 429 without Retry-After", op))
+			return resp.StatusCode, msg
+		}
+		h.shed.add(op)
+	case resp.StatusCode == http.StatusNotFound, resp.StatusCode == http.StatusConflict:
+		h.shed.add(op + "-stale")
+	default:
+		h.errs.set(fmt.Sprintf("%s %s: status %d: %s", op, url, resp.StatusCode, strings.TrimSpace(string(msg))))
+	}
+	return resp.StatusCode, msg
 }
 
 // do executes one request and buckets the outcome: 2xx latencies feed the

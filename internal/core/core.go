@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"subtab/internal/binning"
+	"subtab/internal/bitset"
 	"subtab/internal/cluster"
 	"subtab/internal/corpus"
 	"subtab/internal/f32"
@@ -422,6 +423,14 @@ func (m *Model) SelectQuery(q *query.Query, k, l int, targets []string) (*SubTab
 // large-table mode: scale nil uses the model's configured Options.Scale,
 // anything else replaces it for this call only (serving layers expose it as
 // a request knob). q nil selects over the whole table.
+//
+// Where/Select/Limit queries run on the streaming path: the conjunction is
+// compiled against the binning (binning.CompileFilter) and evaluated over
+// code blocks with per-block residual cell checks, so paged and sharded
+// tables filter without materializing a resident copy. Queries the
+// evaluator cannot compile (group-by/aggregates, an effective order-by)
+// fall back to the resident-cell path — and are refused on paged tables
+// instead of silently re-inflating RSS.
 func (m *Model) SelectWith(q *query.Query, k, l int, targets []string, scale *ScaleOptions) (*SubTable, error) {
 	sc := m.Opt.Scale
 	if scale != nil {
@@ -438,18 +447,26 @@ func (m *Model) SelectWith(q *query.Query, k, l int, targets []string, scale *Sc
 		}
 		return m.selectFrom(rows, cols, k, l, targets, sc)
 	}
-	// Queries evaluate predicates over raw cells, which a paged table no
-	// longer holds; materialize a private resident copy for the evaluation
-	// (the whole-table-scan escape hatch, like binning.MaterializedCodes).
-	qt := m.T
-	if !qt.CellsResident() {
-		var err error
-		qt, err = m.residentTable()
+	if m.streamableQuery(q) {
+		cols, err := m.queryCols(q)
 		if err != nil {
-			return nil, fmt.Errorf("core: applying query: %w", err)
+			return nil, err
 		}
+		return m.selectFiltered(q.Where, q.Limit, nil, cols, k, l, targets, sc, exploreOpts{})
 	}
-	res, srcRows, err := q.Apply(qt)
+	return m.selectWithMaterialized(q, k, l, targets, sc)
+}
+
+// selectWithMaterialized is the resident-cell query path: full relational
+// evaluation (group-by, aggregates, sorting) via query.Apply. It requires
+// the raw cells in memory, so paged tables refuse it — re-materializing a
+// resident copy would silently re-inflate exactly the footprint paging
+// shed. Streamable queries never come here (see SelectWith).
+func (m *Model) selectWithMaterialized(q *query.Query, k, l int, targets []string, sc ScaleOptions) (*SubTable, error) {
+	if !m.T.CellsResident() {
+		return nil, fmt.Errorf("core: query %q needs group-by/aggregate/order-by evaluation over raw cells, which this paged table does not hold; enable streaming predicates by restricting the query to where/select/limit (%w)", q.String(), query.ErrCellsPaged)
+	}
+	res, srcRows, err := q.Apply(m.T)
 	if err != nil {
 		return nil, fmt.Errorf("core: applying query: %w", err)
 	}
@@ -473,10 +490,36 @@ func (m *Model) SelectWith(q *query.Query, k, l int, targets []string, scale *Sc
 
 // selectFrom clusters the candidate rows and columns and picks centroids.
 func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale ScaleOptions) (*SubTable, error) {
+	return m.selectFromOpts(rows, cols, k, l, targets, scale, exploreOpts{})
+}
+
+// exploreOpts carries the exploration-session extensions of a selection.
+// The zero value leaves the historical selection path untouched — every
+// branch it gates is skipped, which is what keeps the never-recording
+// goldens valid.
+type exploreOpts struct {
+	// preds, on a coordinator with remote shards, is the conjunction pushed
+	// into the per-shard scans (the rows argument is then nil: the matching
+	// row set exists only as shard-local masks).
+	preds []query.Predicate
+	// covered marks (column, bin) strata — global item ids — the session has
+	// already shown; the stratified reservoir serves uncovered strata first.
+	covered *bitset.Set
+	// colBias multiplies per-source-column selection scores (DataPilot-style
+	// null-rate / view-count weighting); nil means unbiased.
+	colBias []float64
+}
+
+func (m *Model) selectFromOpts(rows, cols []int, k, l int, targets []string, scale ScaleOptions, opt exploreOpts) (*SubTable, error) {
 	if k <= 0 || l <= 0 {
 		return nil, fmt.Errorf("core: sub-table dimensions must be positive, got %dx%d", k, l)
 	}
-	if len(rows) == 0 {
+	remote := false
+	if src := m.ShardSource(); src != nil && !src.Complete() {
+		remote = true
+	}
+	pushdown := remote && len(opt.preds) > 0
+	if !pushdown && len(rows) == 0 {
 		return nil, fmt.Errorf("core: no rows to select from")
 	}
 	targetIdx := make(map[int]bool, len(targets))
@@ -492,17 +535,25 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 	}
 
 	// A model with remote shards cannot read arbitrary cells; the only
-	// selection it can serve is the scaled full-table path, whose reads all
-	// resolve through the scatter/gather sampler's overlay.
-	if src := m.ShardSource(); src != nil && !src.Complete() {
+	// selections it can serve are the scaled paths whose reads all resolve
+	// through the scatter/gather sampler's overlay: the full-table scan, or
+	// a predicate pushdown (each peer filters its own rows before scanning).
+	if remote {
 		if m.shardSampler == nil {
 			return nil, fmt.Errorf("core: table has remote shards and no shard sampler installed; selections need a coordinator with shard peers")
 		}
-		if !scale.Active(len(rows)) {
-			return nil, fmt.Errorf("core: a table with remote shards serves scaled selections only (set ScaleOptions.Threshold)")
+		if opt.covered != nil || opt.colBias != nil {
+			return nil, fmt.Errorf("core: session-biased selections need the table's shards local")
 		}
-		if len(rows) != m.T.NumRows() || !identityRows(rows) || !identityCols(cols, m.T.NumCols()) {
-			return nil, fmt.Errorf("core: a table with remote shards serves full-table selections only (queries need the rows local)")
+		if !pushdown {
+			if !scale.Active(len(rows)) {
+				return nil, fmt.Errorf("core: a table with remote shards serves scaled selections only (set ScaleOptions.Threshold)")
+			}
+			if len(rows) != m.T.NumRows() || !identityRows(rows) || !identityCols(cols, m.T.NumCols()) {
+				return nil, fmt.Errorf("core: a table with remote shards serves full-table selections only (queries need the rows local)")
+			}
+		} else if scale.Threshold <= 0 {
+			return nil, fmt.Errorf("core: a table with remote shards serves scaled selections only (set ScaleOptions.Threshold)")
 		}
 	}
 
@@ -532,14 +583,35 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 	var csrc binning.CodeSource
 	var rowSlab *f32.Slab
 	var rowRes *cluster.Result
-	if scale.Active(len(rows)) {
+	if pushdown || scale.Active(len(rows)) {
 		scale = scale.withDefaults()
-		if src := m.ShardSource(); src != nil && !src.Complete() {
+		if pushdown {
+			fs, ok := m.shardSampler.(FilteredShardSampler)
+			if !ok {
+				return nil, fmt.Errorf("core: installed shard sampler cannot push predicates down to peers")
+			}
+			sampled, overlay, matched, err := fs.SampleFiltered(cols, scale.SampleBudget, opt.preds)
+			if err != nil {
+				return nil, fmt.Errorf("core: scatter/gather sampling: %w", err)
+			}
+			if matched == 0 {
+				return nil, fmt.Errorf("core: no rows to select from")
+			}
+			if !scale.Active(matched) {
+				return nil, fmt.Errorf("core: a table with remote shards serves scaled selections only (%d matching rows under threshold %d)", matched, scale.Threshold)
+			}
+			candRows, csrc = sampled, overlay
+		} else if remote {
 			sampled, overlay, err := m.shardSampler.Sample(cols, scale.SampleBudget)
 			if err != nil {
 				return nil, fmt.Errorf("core: scatter/gather sampling: %w", err)
 			}
 			candRows, csrc = sampled, overlay
+		} else if opt.covered != nil {
+			// Session-biased samples depend on mutable session state, so
+			// they bypass the per-budget sample cache.
+			seed := m.Opt.ClusterSeed ^ scaleSampleSeed
+			candRows = stratifiedReservoirBiased(m.B, rows, cols, scale.SampleBudget, seed, opt.covered.Contains)
 		} else {
 			candRows = m.sampleCandidates(rows, cols, scale.SampleBudget)
 		}
@@ -600,7 +672,9 @@ func (m *Model) selectFrom(rows, cols []int, k, l int, targets []string, scale S
 		// that is the stratified sample, which keeps the column step
 		// O(SampleBudget) per column too.
 		var picked []int
-		if m.Opt.Columns == Centroids {
+		if opt.colBias != nil {
+			picked = m.biasedColumns(candCols, need, opt.colBias)
+		} else if m.Opt.Columns == Centroids {
 			picked = m.centroidColumns(candCols, candRows, need, csrc)
 		} else {
 			picked = m.patternGroupColumns(candCols, candRows, need)

@@ -30,6 +30,16 @@ import (
 // ascending and duplicate-free; a candidate set no larger than the budget
 // is returned whole (sorted).
 func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed int64) []int {
+	return stratifiedReservoirBiased(b, rows, cols, budget, seed, nil)
+}
+
+// stratifiedReservoirBiased is the session-aware form: covered, when
+// non-nil, marks (column, bin) item ids an exploration session has already
+// shown, and phase 1 serves the uncovered strata first (each pass in
+// ascending item order) — a drill-down's coverage budget goes to strata the
+// user has not seen, while phase 2's uniform fill is untouched. covered ==
+// nil is bit-identical to the historical sampler.
+func stratifiedReservoirBiased(b *binning.Binned, rows, cols []int, budget int, seed int64, covered func(item int) bool) []int {
 	if budget <= 0 || len(rows) <= budget {
 		out := make([]int, len(rows))
 		copy(out, rows)
@@ -42,7 +52,7 @@ func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed i
 	// wall clock. Query subsets fall through to the generic block cursor.
 	if src, ok := b.Source().(*shard.Source); ok && src.Complete() &&
 		len(rows) == src.NumRows() && identityRows(rows) {
-		return shardedReservoir(b, src, cols, budget, seed)
+		return shardedReservoir(b, src, cols, budget, seed, covered)
 	}
 
 	rowH := make([]uint64, len(rows))
@@ -117,16 +127,27 @@ func stratifiedReservoir(b *binning.Binned, rows, cols []int, budget int, seed i
 	}
 	picked := make(map[int]bool, budget)
 	sample := make([]int, 0, budget)
-	for s := range bestRow {
+	for _, wantCovered := range [2]bool{false, true} {
 		if len(sample) >= budget {
 			break
 		}
-		r := bestRow[s]
-		if r < 0 || picked[r] {
-			continue
+		for s := range bestRow {
+			if len(sample) >= budget {
+				break
+			}
+			if covered != nil && covered(s) != wantCovered {
+				continue
+			}
+			r := bestRow[s]
+			if r < 0 || picked[r] {
+				continue
+			}
+			picked[r] = true
+			sample = append(sample, r)
 		}
-		picked[r] = true
-		sample = append(sample, r)
+		if covered == nil {
+			break
+		}
 	}
 
 	// Phase 2: uniform fill — the (budget - coverage) rows with the smallest

@@ -63,25 +63,8 @@ func (m *Model) SampleSeed() int64 { return m.Opt.ClusterSeed ^ scaleSampleSeed 
 // the worker half of the shard-exec protocol. cols, budget and seed come
 // from the coordinator's request; the summary's rows are global ids.
 func (m *Model) SampleShard(idx int, cols []int, budget int, seed int64) (shard.Summary, error) {
-	src := m.ShardSource()
-	if src == nil {
-		return shard.Summary{}, fmt.Errorf("core: table is not shard-backed")
-	}
-	if idx < 0 || idx >= src.NumShards() {
-		return shard.Summary{}, fmt.Errorf("core: shard %d out of range [0, %d)", idx, src.NumShards())
-	}
-	if !src.ShardAvailable(idx) {
-		return shard.Summary{}, fmt.Errorf("core: shard %d is not held locally", idx)
-	}
-	if budget <= 0 {
-		return shard.Summary{}, fmt.Errorf("core: sample budget must be positive, got %d", budget)
-	}
-	for _, c := range cols {
-		if c < 0 || c >= m.T.NumCols() {
-			return shard.Summary{}, fmt.Errorf("core: column %d out of range [0, %d)", c, m.T.NumCols())
-		}
-	}
-	return shard.Scan(m.B, src.ShardSource(idx), src.ShardStart(idx), cols, budget, seed), nil
+	sum, _, err := m.SampleShardFiltered(idx, cols, budget, seed, nil)
+	return sum, err
 }
 
 // UseShardedStores exports the model's codes into len(paths) shard files
@@ -136,8 +119,10 @@ func (m *Model) UseShardedStores(paths []string, blockRows int) (*shard.Source, 
 // shardedReservoir is the local scatter/gather form of the stratified
 // reservoir: one goroutine scans each shard, the per-stratum minima and
 // phase-2 heaps merge associatively, and the pick order replays exactly —
-// byte-identical to the single-store scan (see package shard).
-func shardedReservoir(b *binning.Binned, src *shard.Source, cols []int, budget int, seed int64) []int {
+// byte-identical to the single-store scan (see package shard). covered,
+// when non-nil, applies the session coverage bias at the merge's pick step
+// (shard.FinishSampleBiased); nil preserves the historical pick order.
+func shardedReservoir(b *binning.Binned, src *shard.Source, cols []int, budget int, seed int64, covered func(item int) bool) []int {
 	sums := make([]shard.Summary, src.NumShards())
 	var wg sync.WaitGroup
 	for i := 0; i < src.NumShards(); i++ {
@@ -152,7 +137,7 @@ func shardedReservoir(b *binning.Binned, src *shard.Source, cols []int, budget i
 	}
 	wg.Wait()
 	strata, cands := shard.MergeSummaries(sums, b.NumItems())
-	return shard.FinishSample(strata, cands, budget)
+	return shard.FinishSampleBiased(strata, cands, budget, covered)
 }
 
 // UseShardedColumnStores exports the model's raw columns into len(paths)

@@ -161,7 +161,7 @@ func TestReplayRates(t *testing.T) {
 		allCols[i] = i
 	}
 	full := Replay(b, sessions, func(q *query.Query) ([]int, []int, error) {
-		rows := q.MatchingRows(ds.T)
+		rows, _ := q.MatchingRows(ds.T)
 		return rows, allCols, nil
 	})
 	if full.Fragments == 0 {
@@ -181,7 +181,7 @@ func TestReplayRates(t *testing.T) {
 
 	// Narrow selector sits in between.
 	narrow := Replay(b, sessions, func(q *query.Query) ([]int, []int, error) {
-		rows := q.MatchingRows(ds.T)
+		rows, _ := q.MatchingRows(ds.T)
 		if len(rows) > 3 {
 			rows = rows[:3]
 		}

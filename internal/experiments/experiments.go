@@ -336,7 +336,10 @@ func (l *Lab) selectWithTargets(p *Prepared, baseline string, q *query.Query, k,
 		}
 		return st.AsMetricSubTable(), nil
 	case "RAN":
-		pool := q.MatchingRows(p.DS.T)
+		pool, err := q.MatchingRows(p.DS.T)
+		if err != nil {
+			return metrics.SubTable{}, err
+		}
 		if len(pool) == 0 {
 			return metrics.SubTable{}, fmt.Errorf("empty query result")
 		}
@@ -349,7 +352,10 @@ func (l *Lab) selectWithTargets(p *Prepared, baseline string, q *query.Query, k,
 		}
 		return res.ST, nil
 	case "NC":
-		pool := q.MatchingRows(p.DS.T)
+		pool, err := q.MatchingRows(p.DS.T)
+		if err != nil {
+			return metrics.SubTable{}, err
+		}
 		if len(pool) == 0 {
 			return metrics.SubTable{}, fmt.Errorf("empty query result")
 		}

@@ -36,8 +36,8 @@ func TestPropConjunctionCommutative(t *testing.T) {
 		}
 		p1 := Predicate{Col: "n", Op: Geq, Num: threshold}
 		p2 := Predicate{Col: "c", Op: Eq, Str: "a"}
-		a := (&Query{Where: []Predicate{p1, p2}}).MatchingRows(tab)
-		b := (&Query{Where: []Predicate{p2, p1}}).MatchingRows(tab)
+		a, _ := (&Query{Where: []Predicate{p1, p2}}).MatchingRows(tab)
+		b, _ := (&Query{Where: []Predicate{p2, p1}}).MatchingRows(tab)
 		if len(a) != len(b) {
 			return false
 		}
@@ -60,8 +60,8 @@ func TestPropSelectionAntiMonotone(t *testing.T) {
 		tab := randomTable(nums, cats)
 		p1 := Predicate{Col: "n", Op: Geq, Num: threshold}
 		p2 := Predicate{Col: "c", Op: Neq, Str: "b"}
-		loose := (&Query{Where: []Predicate{p1}}).MatchingRows(tab)
-		tight := (&Query{Where: []Predicate{p1, p2}}).MatchingRows(tab)
+		loose, _ := (&Query{Where: []Predicate{p1}}).MatchingRows(tab)
+		tight, _ := (&Query{Where: []Predicate{p1, p2}}).MatchingRows(tab)
 		if len(tight) > len(loose) {
 			return false
 		}

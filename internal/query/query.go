@@ -6,13 +6,22 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"subtab/internal/table"
 )
+
+// ErrCellsPaged is returned when predicate evaluation is asked to run over a
+// schema husk — a table whose cell payloads were dropped in favour of an
+// external column store. Evaluating predicates there would index nil column
+// slices; callers on paged tables must use the code-level streaming
+// evaluator (binning.CompileFilter) instead of the resident-cell path.
+var ErrCellsPaged = errors.New("query: table cells are paged (schema husk); use the streaming code-level evaluator")
 
 // Op is a comparison operator for selection predicates.
 type Op int
@@ -75,7 +84,9 @@ func (p Predicate) String() string {
 }
 
 // Matches reports whether row r of t satisfies the predicate. Unknown
-// columns match nothing. Missing cells only match IsMissing.
+// columns match nothing. Missing cells only match IsMissing. t must hold
+// resident cells — query entry points refuse husk tables with ErrCellsPaged
+// before any Matches call can index a dropped column.
 func (p Predicate) Matches(t *table.Table, r int) bool {
 	c := t.Column(p.Col)
 	if c == nil {
@@ -103,6 +114,60 @@ func (p Predicate) Matches(t *table.Table, r int) bool {
 		}
 	}
 	v := c.Nums[r]
+	switch p.Op {
+	case Eq:
+		return v == p.Num
+	case Neq:
+		return v != p.Num
+	case Lt:
+		return v < p.Num
+	case Leq:
+		return v <= p.Num
+	case Gt:
+		return v > p.Num
+	case Geq:
+		return v >= p.Num
+	default:
+		return false
+	}
+}
+
+// MatchesCell reports whether a rendered cell satisfies the predicate, given
+// the column's kind. cell must follow table.Column.CellString's contract:
+// "NaN" for missing, table.FormatNum for numeric (shortest round-trip, so
+// ParseFloat recovers the exact stored float64), the dictionary string for
+// categorical. This is the residual matcher of the code-level evaluator: it
+// decides exactly as Matches would, but from the paged column store's
+// rendered bytes instead of resident cells. The evaluator only consults it
+// for rows whose missingness is already decided from codes (missing rows
+// land in the dedicated missing bin), so the categorical value "NaN" —
+// ambiguous with the missing rendering — never reaches the Eq/Neq arms for
+// a missing row.
+func (p Predicate) MatchesCell(kind table.Kind, cell string) bool {
+	missing := cell == "NaN" && kind == table.Numeric
+	switch p.Op {
+	case IsMissing:
+		return missing || (kind == table.Categorical && cell == "NaN")
+	case NotMissing:
+		return !missing && !(kind == table.Categorical && cell == "NaN")
+	}
+	if missing {
+		return false
+	}
+	if kind == table.Categorical {
+		switch p.Op {
+		case Eq:
+			return cell == p.Str
+		case Neq:
+			return cell != p.Str
+		default:
+			return false
+		}
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return false
+	}
 	switch p.Op {
 	case Eq:
 		return v == p.Num
@@ -208,7 +273,13 @@ func (q *Query) String() string {
 }
 
 // MatchingRows returns the indices of rows satisfying all Where predicates.
-func (q *Query) MatchingRows(t *table.Table) []int {
+// It refuses schema husks with ErrCellsPaged: a dropped-cells table has nil
+// column payloads, so Matches would panic (or silently lie about missing
+// cells) instead of evaluating.
+func (q *Query) MatchingRows(t *table.Table) ([]int, error) {
+	if !t.CellsResident() {
+		return nil, fmt.Errorf("evaluating %d predicate(s): %w", len(q.Where), ErrCellsPaged)
+	}
 	rows := make([]int, 0, t.NumRows())
 	for r := 0; r < t.NumRows(); r++ {
 		ok := true
@@ -222,18 +293,21 @@ func (q *Query) MatchingRows(t *table.Table) []int {
 			rows = append(rows, r)
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // Apply executes the query against t and returns the result table together
 // with the source-row indices of each result row. For group-by queries the
 // source indices are the first member row of each group (the result rows are
 // synthesized aggregates, so rowIdx is a representative, not an identity).
+// Like MatchingRows, Apply refuses husk tables with ErrCellsPaged.
 func (q *Query) Apply(t *table.Table) (*table.Table, []int, error) {
-	rows := q.MatchingRows(t)
+	rows, err := q.MatchingRows(t)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	var res *table.Table
-	var err error
 	if len(q.GroupBy) > 0 {
 		res, rows, err = q.applyGroupBy(t, rows)
 		if err != nil {

@@ -39,7 +39,7 @@ func TestPredicateNumeric(t *testing.T) {
 	}
 	for _, c := range cases {
 		q := &Query{Where: []Predicate{c.p}}
-		got := q.MatchingRows(tab)
+		got, _ := q.MatchingRows(tab)
 		if len(got) != len(c.want) {
 			t.Fatalf("%s: rows = %v, want %v", c.p, got, c.want)
 		}
@@ -54,18 +54,18 @@ func TestPredicateNumeric(t *testing.T) {
 func TestPredicateCategorical(t *testing.T) {
 	tab := sample(t)
 	q := &Query{Where: []Predicate{{Col: "AIRLINE", Op: Eq, Str: "AA"}}}
-	got := q.MatchingRows(tab)
+	got, _ := q.MatchingRows(tab)
 	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Fatalf("rows = %v", got)
 	}
 	q = &Query{Where: []Predicate{{Col: "AIRLINE", Op: Neq, Str: "AA"}}}
-	got = q.MatchingRows(tab)
+	got, _ = q.MatchingRows(tab)
 	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
 		t.Fatalf("rows = %v", got)
 	}
 	// Lt on categorical matches nothing.
 	q = &Query{Where: []Predicate{{Col: "AIRLINE", Op: Lt, Str: "AA"}}}
-	if got := q.MatchingRows(tab); len(got) != 0 {
+	if got, _ := q.MatchingRows(tab); len(got) != 0 {
 		t.Fatalf("ordered op on categorical matched %v", got)
 	}
 }
@@ -73,7 +73,7 @@ func TestPredicateCategorical(t *testing.T) {
 func TestPredicateUnknownColumn(t *testing.T) {
 	tab := sample(t)
 	q := &Query{Where: []Predicate{{Col: "nope", Op: Eq, Num: 1}}}
-	if got := q.MatchingRows(tab); len(got) != 0 {
+	if got, _ := q.MatchingRows(tab); len(got) != 0 {
 		t.Fatalf("unknown column matched %v", got)
 	}
 }
@@ -84,7 +84,7 @@ func TestConjunction(t *testing.T) {
 		{Col: "AIRLINE", Op: Eq, Str: "B6"},
 		{Col: "CANCELLED", Op: Eq, Num: 1},
 	}}
-	got := q.MatchingRows(tab)
+	got, _ := q.MatchingRows(tab)
 	if len(got) != 1 || got[0] != 4 {
 		t.Fatalf("rows = %v", got)
 	}

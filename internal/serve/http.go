@@ -40,14 +40,26 @@ var maxSelectCells = 1 << 16
 //	GET    /tables/{name}           one table's info
 //	DELETE /tables/{name}           drop a table
 //	POST   /tables/{name}/append    append CSV rows (incremental ingestion)
-//	POST   /tables/{name}/select    k×l sub-table of the whole table
-//	POST   /tables/{name}/query     k×l sub-table of a query result
+//	POST   /tables/{name}/select    k×l sub-table of the whole table (deprecated: /v1 sessions)
+//	POST   /tables/{name}/query     k×l sub-table of a query result (deprecated: /v1 sessions)
 //	GET    /tables/{name}/rules     mined association rules
 //	POST   /shards/{name}/{idx}/sample  shard-exec scan (binary codec)
 //	POST   /shards/{name}/{idx}/cells   shard-exec cell gather (binary codec)
 //
-// Every response is JSON; errors are {"error": "..."} with a matching
-// status code. A nil logger disables request logging.
+// plus the versioned exploration surface:
+//
+//	POST   /v1/sessions                    open an exploration session
+//	GET    /v1/sessions/{id}               session state
+//	DELETE /v1/sessions/{id}               close a session
+//	POST   /v1/sessions/{id}/select        predicate-scoped, coverage-biased select
+//	POST   /v1/sessions/{id}/drilldown     expand a row/cell anchor and select inside it
+//
+// Every response is JSON; errors are one structured envelope
+// {"code": "...", "message": "...", "retry_after": n?} with a matching
+// status code (retry_after appears only on 429s, mirroring the
+// Retry-After header). The unversioned select/query routes answer with a
+// Deprecation header pointing at /v1. A nil logger disables request
+// logging.
 func NewHandler(svc *Service, logger *log.Logger) http.Handler {
 	h := &api{svc: svc}
 	mux := http.NewServeMux()
@@ -57,15 +69,31 @@ func NewHandler(svc *Service, logger *log.Logger) http.Handler {
 	mux.HandleFunc("GET /tables/{name}", h.tableInfo)
 	mux.HandleFunc("DELETE /tables/{name}", h.deleteTable)
 	mux.HandleFunc("POST /tables/{name}/append", h.appendRows)
-	mux.HandleFunc("POST /tables/{name}/select", h.selectWhole)
-	mux.HandleFunc("POST /tables/{name}/query", h.selectQuery)
+	mux.HandleFunc("POST /tables/{name}/select", deprecated(h.selectWhole))
+	mux.HandleFunc("POST /tables/{name}/query", deprecated(h.selectQuery))
 	mux.HandleFunc("GET /tables/{name}/rules", h.rules)
 	mux.HandleFunc("POST /shards/{name}/{idx}/sample", h.shardSample)
 	mux.HandleFunc("POST /shards/{name}/{idx}/cells", h.shardCells)
+	mux.HandleFunc("POST /v1/sessions", h.createSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", h.sessionStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", h.deleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/select", h.sessionSelect)
+	mux.HandleFunc("POST /v1/sessions/{id}/drilldown", h.sessionDrillDown)
 	if logger == nil {
 		return mux
 	}
 	return logRequests(logger, mux)
+}
+
+// deprecated marks a legacy unversioned route: it still works as a thin
+// adapter over the same service, but answers with a Deprecation header
+// (RFC 9745) steering clients to the /v1 exploration surface.
+func deprecated(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "@1786060800") // 2026-08-07: superseded by /v1/sessions
+		w.Header().Set("Link", "</v1/sessions>; rel=\"successor-version\"")
+		next(w, r)
+	}
 }
 
 // logRequests wraps next with per-request logging (method, path, status,
@@ -99,20 +127,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// errorEnvelope is the single error shape every handler returns: a stable
+// machine-readable code, the human-readable message, and — on 429s only —
+// the Retry-After hint in seconds (mirroring the header, so JSON-only
+// clients need not parse headers).
+type errorEnvelope struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	RetryAfter int    `json:"retry_after,omitempty"`
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, "internal"
+	env := errorEnvelope{Message: err.Error()}
 	switch {
 	case errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, ErrExists):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, "conflict"
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrOverloaded):
 		// Load shed: tell the client when to come back. The admission error
 		// carries a back-off hint; concurrency-limit sheds clear in one
 		// request time, so a second is plenty for both.
-		status = http.StatusTooManyRequests
+		status, code = http.StatusTooManyRequests, "overloaded"
 		retry := time.Second
 		var ob *memgov.ErrOverBudget
 		if errors.As(err, &ob) && ob.RetryAfter > 0 {
@@ -120,12 +163,14 @@ func writeError(w http.ResponseWriter, err error) {
 		}
 		secs := int((retry + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		env.RetryAfter = secs
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	env.Code = code
+	writeJSON(w, status, env)
 }
 
 func writeBadRequest(w http.ResponseWriter, format string, args ...any) {
-	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeErrorCode(w, http.StatusBadRequest, "bad_request", format, args...)
 }
 
 func (h *api) health(w http.ResponseWriter, r *http.Request) {
@@ -312,8 +357,8 @@ func (h *api) shardSample(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			writeErrorCode(w, http.StatusRequestEntityTooLarge, "too_large",
+				"request body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
 		writeBadRequest(w, "reading request body: %v", err)
@@ -347,8 +392,8 @@ func (h *api) shardCells(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			writeErrorCode(w, http.StatusRequestEntityTooLarge, "too_large",
+				"request body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
 		writeBadRequest(w, "reading request body: %v", err)
@@ -373,8 +418,8 @@ func (h *api) shardCells(w http.ResponseWriter, r *http.Request) {
 func writeCSVError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+		writeErrorCode(w, http.StatusRequestEntityTooLarge, "too_large",
+			"request body exceeds %d bytes", tooLarge.Limit)
 		return
 	}
 	writeBadRequest(w, "parsing CSV: %v", err)

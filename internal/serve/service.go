@@ -11,6 +11,7 @@ import (
 	"subtab/internal/memgov"
 	"subtab/internal/query"
 	"subtab/internal/rules"
+	"subtab/internal/session"
 	"subtab/internal/shard"
 	"subtab/internal/table"
 )
@@ -49,6 +50,9 @@ type Service struct {
 	gov     *memgov.Governor
 	limiter *memgov.Limiter
 
+	// sessions holds the live exploration sessions of the /v1 API.
+	sessions *session.Manager
+
 	rulesMu    sync.Mutex
 	rulesGen   map[string]uint64 // bumped on replace/remove; guards cache inserts
 	rulesCache map[string]rulesEntry
@@ -68,6 +72,7 @@ func NewService(store *Store, defaults core.Options) *Service {
 	return &Service{
 		store:      store,
 		defaults:   defaults,
+		sessions:   session.NewManager(0),
 		rulesGen:   make(map[string]uint64),
 		rulesCache: make(map[string]rulesEntry),
 	}
@@ -372,10 +377,12 @@ func (s *Service) AppendRows(name string, rows *table.Table, opt core.AppendOpti
 	return m, stats, nil
 }
 
-// RemoveTable drops the named table from memory and disk.
+// RemoveTable drops the named table from memory and disk, closing any
+// exploration sessions opened on it (their state describes removed data).
 func (s *Service) RemoveTable(name string) {
 	s.store.Remove(name)
 	s.invalidateRules(name)
+	s.sessions.DeleteTable(name)
 }
 
 // Model returns the pre-processed model for name, loading it from the disk

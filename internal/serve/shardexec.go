@@ -35,6 +35,7 @@ import (
 	"subtab/internal/binning"
 	"subtab/internal/core"
 	"subtab/internal/memgov"
+	"subtab/internal/query"
 	"subtab/internal/shard"
 )
 
@@ -68,7 +69,7 @@ func (s *Service) SampleShard(name string, idx int, req *shard.SampleRequest) (*
 		return nil, fmt.Errorf("%w: shard %d of %q: request expects checksum %08x, this store has %08x",
 			ErrBadRequest, idx, name, got, want)
 	}
-	sum, err := m.SampleShard(idx, req.Cols, req.Budget, req.Seed)
+	sum, matched, err := m.SampleShardFiltered(idx, req.Cols, req.Budget, req.Seed, req.Preds)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -77,6 +78,7 @@ func (s *Service) SampleShard(name string, idx int, req *shard.SampleRequest) (*
 		Summary: sum,
 		Rows:    rows,
 		Codes:   gatherShardCodes(src, m.T.NumCols(), rows),
+		Matched: matched,
 	}, nil
 }
 
@@ -232,6 +234,7 @@ type shardSampler struct {
 type sampleResult struct {
 	rows    []int
 	overlay *shard.SparseSource
+	matched int    // total rows matching the request's predicates, across shards
 	gen     uint64 // ShardPeersOptions.Generation at fill time
 	bytes   int64  // estimated residency: rows + overlay rows + overlay codes
 }
@@ -241,10 +244,30 @@ type sampleResult struct {
 // overlay the gathered codes. rows is byte-identical to what the
 // single-store stratified reservoir would return.
 func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource, error) {
+	rows, codes, _, err := s.SampleFiltered(cols, budget, nil)
+	return rows, codes, err
+}
+
+// SampleFiltered is Sample with a predicate conjunction pushed into the
+// per-shard scans (core.FilteredShardSampler): each request carries the
+// predicates, each worker evaluates them shard-locally inside its scan and
+// reports how many of its rows matched, and the merged sample is exactly
+// what a single-store filtered reservoir over the whole table would
+// return. matched is the total matching row count across shards — the
+// figure the scaled-path threshold gates on, since the coordinator never
+// materializes the matching row set.
+func (s *shardSampler) SampleFiltered(cols []int, budget int, preds []query.Predicate) ([]int, binning.CodeSource, int, error) {
 	if budget <= 0 {
-		return nil, nil, fmt.Errorf("serve: sample budget must be positive, got %d", budget)
+		return nil, nil, 0, fmt.Errorf("serve: sample budget must be positive, got %d", budget)
 	}
-	key := fmt.Sprintf("%d|%v", budget, cols)
+	// The predicate key spells every field unambiguously (%q quotes the
+	// strings), so two conjunctions differing only in, say, Num vs Str
+	// cannot collide.
+	var pk strings.Builder
+	for _, p := range preds {
+		fmt.Fprintf(&pk, "%q|%d|%x|%q;", p.Col, p.Op, p.Num, p.Str)
+	}
+	key := fmt.Sprintf("%d|%v|%s", budget, cols, pk.String())
 	// The generation is read before the scatter: if the table is replaced
 	// while this round is in flight, the result is stored under the old tag
 	// and the next lookup discards it instead of serving pre-replace rows.
@@ -256,7 +279,7 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 	if r, ok := s.cache[key]; ok {
 		if s.opt.Generation == nil || r.gen == gen {
 			s.mu.Unlock()
-			return append([]int(nil), r.rows...), r.overlay, nil
+			return append([]int(nil), r.rows...), r.overlay, r.matched, nil
 		}
 		delete(s.cache, key)
 		s.cacheBytes -= r.bytes
@@ -281,9 +304,13 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 		go func(i int) {
 			defer wg.Done()
 			if s.src.ShardAvailable(i) {
-				sum := shard.Scan(s.m.B, s.src.ShardSource(i), s.src.ShardStart(i), cols, budget, seed)
+				sum, matched, err := s.m.SampleShardFiltered(i, cols, budget, seed, preds)
+				if err != nil {
+					errs[i] = err
+					return
+				}
 				rows := sum.CandidateRows()
-				resps[i] = &shard.SampleResponse{Summary: sum, Rows: rows, Codes: gatherShardCodes(s.src, nCols, rows)}
+				resps[i] = &shard.SampleResponse{Summary: sum, Rows: rows, Codes: gatherShardCodes(s.src, nCols, rows), Matched: matched}
 				return
 			}
 			resp, err := s.fetch(i, &shard.SampleRequest{
@@ -291,6 +318,7 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 				Seed:     seed,
 				Budget:   budget,
 				Cols:     cols,
+				Preds:    preds,
 			})
 			if err == nil {
 				err = validateShardResponse(resp, s.src, i, nCols, s.m.B.NumItems())
@@ -305,18 +333,19 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
 
 	sums := make([]shard.Summary, len(resps))
-	total := 0
+	total, matched := 0, 0
 	for i, r := range resps {
 		if r == nil {
 			continue
 		}
 		sums[i] = r.Summary
 		total += len(r.Rows)
+		matched += r.Matched
 	}
 	strata, cands := shard.MergeSummaries(sums, s.m.B.NumItems())
 	rows := shard.FinishSample(strata, cands, budget)
@@ -339,7 +368,7 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 	}
 	overlay, err := shard.NewSparseSource(s.m.T.NumRows(), nCols, allRows, allCodes)
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: assembling sampled overlay for %q: %w", s.name, err)
+		return nil, nil, 0, fmt.Errorf("serve: assembling sampled overlay for %q: %w", s.name, err)
 	}
 
 	// Entry weight: the cached pick order plus the overlay's row ids and its
@@ -350,13 +379,13 @@ func (s *shardSampler) Sample(cols []int, budget int) ([]int, binning.CodeSource
 		clear(s.cache)
 		s.cacheBytes = 0
 	}
-	s.cache[key] = sampleResult{rows: rows, overlay: overlay, gen: gen, bytes: rb}
+	s.cache[key] = sampleResult{rows: rows, overlay: overlay, matched: matched, gen: gen, bytes: rb}
 	s.cacheBytes += rb
 	s.cacheGen++
 	cg, cb := s.cacheGen, s.cacheBytes
 	s.mu.Unlock()
 	s.acct.Settle(cg, cb)
-	return append([]int(nil), rows...), overlay, nil
+	return append([]int(nil), rows...), overlay, matched, nil
 }
 
 // ReleaseCache drops the coordinator's cross-request sample cache and
@@ -470,6 +499,10 @@ func validateShardResponse(resp *shard.SampleResponse, src *shard.Source, idx, n
 	want := resp.Summary.CandidateRows()
 	if len(want) != len(resp.Rows) {
 		return fmt.Errorf("serve: shard %d response carries %d rows for %d candidates", idx, len(resp.Rows), len(want))
+	}
+	if resp.Matched < len(resp.Rows) || resp.Matched > src.ShardRows(idx) {
+		return fmt.Errorf("serve: shard %d response claims %d matching rows but carries %d candidates of %d shard rows",
+			idx, resp.Matched, len(resp.Rows), src.ShardRows(idx))
 	}
 	lo := int64(src.ShardStart(idx))
 	hi := lo + int64(src.ShardRows(idx))

@@ -1,0 +1,223 @@
+// Package session implements server-side exploration sessions: the state
+// that turns independent sub-table selects into a drill-down dialogue. A
+// session remembers, per table, which (column, bin) strata its views have
+// already shown (a bitset over the binning's global item-id space) and how
+// often each column has been displayed. Successive selects feed that state
+// back into the selection — covered strata are deprioritized in the
+// stratified reservoir, frequently viewed columns are down-weighted — so
+// the session surfaces new regions of the table instead of re-showing the
+// same representative rows (the Smart Drill-Down / DataPilot session model
+// the paper's exploration setting motivates).
+//
+// The package is a pure state machine over integer ids: it never reads
+// codes or cells itself. Neighborhood expansion is delegated through the
+// Explorer interface (implemented by core.Model), which keeps the
+// dependency one-way — core knows nothing about sessions.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"subtab/internal/bitset"
+)
+
+// Explorer computes drill-down neighborhoods — the one selection-side
+// operation a session needs. core.Model implements it.
+type Explorer interface {
+	// Neighborhood returns the sorted source rows around an anchor: the rows
+	// sharing the anchor's bin in column col (col >= 0), or the rows
+	// agreeing with the anchor on at least half of viewCols (col < 0).
+	Neighborhood(row, col int, viewCols []int) ([]int, error)
+}
+
+// Session is one exploration dialogue over one table. All methods are safe
+// for concurrent use.
+type Session struct {
+	// ID is the manager-assigned identifier ("s1", "s2", ...).
+	ID string
+	// Table is the served table name the session explores.
+	Table string
+	// Gen is the table's store generation at session creation: a session
+	// outliving a table replacement is stale (its item ids and row ids
+	// describe the old data) and the serving layer refuses it.
+	Gen uint64
+
+	mu       sync.Mutex
+	covered  *bitset.Set
+	views    []int
+	lastRows []int
+	lastCols []int
+	seq      int
+}
+
+// RecordView folds a displayed sub-table into the session: items are the
+// view's (column, bin) strata (core.Model.ViewItems), rows its source rows
+// and cols its source column indices. The last view becomes the anchor
+// space for the next DrillDown.
+func (s *Session) RecordView(items, rows, cols []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, it := range items {
+		s.covered.Add(it)
+	}
+	for _, c := range cols {
+		if c >= 0 && c < len(s.views) {
+			s.views[c]++
+		}
+	}
+	s.lastRows = append(s.lastRows[:0], rows...)
+	s.lastCols = append(s.lastCols[:0], cols...)
+	s.seq++
+}
+
+// Covered returns a snapshot of the covered-strata bitset. The clone is
+// the caller's own: a select runs against a stable snapshot even while
+// concurrent views extend the session.
+func (s *Session) Covered() *bitset.Set {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.covered.Clone()
+}
+
+// ViewCounts returns a copy of the per-column display counts.
+func (s *Session) ViewCounts() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.views...)
+}
+
+// Views returns how many views the session has recorded.
+func (s *Session) Views() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// LastView returns the rows and columns of the most recent view (copies),
+// or ok=false before the first view.
+func (s *Session) LastView() (rows, cols []int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq == 0 {
+		return nil, nil, false
+	}
+	return append([]int(nil), s.lastRows...), append([]int(nil), s.lastCols...), true
+}
+
+// DrillDown expands an anchor from the session's last view into its
+// neighborhood: the scope the next select is bounded to. row must be one
+// of the last view's source rows; col, when >= 0, must be one of its
+// columns (a cell anchor — the neighborhood is the rows sharing that
+// cell's bin). col < 0 anchors the whole row (rows agreeing on at least
+// half of the view's columns).
+func (s *Session) DrillDown(ex Explorer, row, col int) ([]int, error) {
+	rows, cols, ok := s.LastView()
+	if !ok {
+		return nil, fmt.Errorf("session %s: drill-down needs a previous view; run a select first", s.ID)
+	}
+	found := false
+	for _, r := range rows {
+		if r == row {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("session %s: anchor row %d is not in the last view", s.ID, row)
+	}
+	if col >= 0 {
+		found = false
+		for _, c := range cols {
+			if c == col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("session %s: anchor column %d is not in the last view", s.ID, col)
+		}
+	}
+	return ex.Neighborhood(row, col, cols)
+}
+
+// Manager owns the live sessions of a serving process. Safe for concurrent
+// use.
+type Manager struct {
+	mu   sync.Mutex
+	seq  int
+	max  int
+	byID map[string]*Session
+}
+
+// NewManager returns a manager bounding the live-session count to max
+// (<= 0 uses the default of 1024).
+func NewManager(max int) *Manager {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Manager{max: max, byID: make(map[string]*Session)}
+}
+
+// Create opens a session over the named table: numItems sizes the
+// covered-strata bitset (the binning's global item count), numCols the
+// per-column view counters, gen pins the table's store generation. Session
+// ids are assigned sequentially ("s1", "s2", ...), so a single-client
+// replay of the same operations addresses the same sessions.
+func (m *Manager) Create(table string, gen uint64, numItems, numCols int) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.byID) >= m.max {
+		return nil, fmt.Errorf("session: %d sessions already open (limit %d); delete one first", len(m.byID), m.max)
+	}
+	m.seq++
+	s := &Session{
+		ID:      fmt.Sprintf("s%d", m.seq),
+		Table:   table,
+		Gen:     gen,
+		covered: bitset.New(numItems),
+		views:   make([]int, numCols),
+	}
+	m.byID[s.ID] = s
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byID[id]
+	return s, ok
+}
+
+// Delete removes the session with the given id, reporting whether it
+// existed.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.byID[id]
+	delete(m.byID, id)
+	return ok
+}
+
+// DeleteTable removes every session opened on the named table (the table
+// was removed or replaced) and returns how many were dropped.
+func (m *Manager) DeleteTable(table string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, s := range m.byID {
+		if s.Table == table {
+			delete(m.byID, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the live-session count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byID)
+}

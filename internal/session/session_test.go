@@ -1,0 +1,148 @@
+package session
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeExplorer records the delegated Neighborhood call and returns a canned
+// scope.
+type fakeExplorer struct {
+	row, col int
+	viewCols []int
+	scope    []int
+}
+
+func (f *fakeExplorer) Neighborhood(row, col int, viewCols []int) ([]int, error) {
+	f.row, f.col, f.viewCols = row, col, append([]int(nil), viewCols...)
+	return f.scope, nil
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager(2)
+	a, err := m.Create("flights", 7, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "s1" || a.Table != "flights" || a.Gen != 7 {
+		t.Fatalf("session = %+v, want s1/flights/gen 7", a)
+	}
+	b, err := m.Create("flights", 7, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "s2" {
+		t.Fatalf("second id = %q, want s2", b.ID)
+	}
+	if _, err := m.Create("other", 1, 10, 2); err == nil {
+		t.Fatal("third session above the limit was not refused")
+	} else if !strings.Contains(err.Error(), "delete one first") {
+		t.Fatalf("limit error %q lacks guidance", err)
+	}
+	if got, ok := m.Get("s1"); !ok || got != a {
+		t.Fatal("Get(s1) did not return the created session")
+	}
+	if !m.Delete("s1") || m.Delete("s1") {
+		t.Fatal("Delete not idempotent-correct")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestManagerDeleteTable(t *testing.T) {
+	m := NewManager(0)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Create("flights", 1, 10, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Create("taxis", 1, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.DeleteTable("flights"); n != 3 {
+		t.Fatalf("DeleteTable dropped %d sessions, want 3", n)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after DeleteTable, want 1", m.Len())
+	}
+}
+
+func TestRecordViewAccumulates(t *testing.T) {
+	m := NewManager(0)
+	s, err := m.Create("flights", 1, 50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Views() != 0 {
+		t.Fatal("fresh session reports views")
+	}
+	if _, _, ok := s.LastView(); ok {
+		t.Fatal("fresh session reports a last view")
+	}
+	s.RecordView([]int{3, 7, 7, 12}, []int{10, 20, 30}, []int{0, 2})
+	s.RecordView([]int{7, 40}, []int{40, 50}, []int{2, 4})
+	if s.Views() != 2 {
+		t.Fatalf("Views = %d, want 2", s.Views())
+	}
+	cov := s.Covered()
+	for _, it := range []int{3, 7, 12, 40} {
+		if !cov.Contains(it) {
+			t.Fatalf("item %d not covered", it)
+		}
+	}
+	if cov.Count() != 4 {
+		t.Fatalf("covered count = %d, want 4", cov.Count())
+	}
+	// The snapshot is detached: mutating it never leaks back.
+	cov.Add(49)
+	if s.Covered().Contains(49) {
+		t.Fatal("covered snapshot aliases session state")
+	}
+	if got := s.ViewCounts(); !reflect.DeepEqual(got, []int{1, 0, 2, 0, 1, 0}) {
+		t.Fatalf("ViewCounts = %v", got)
+	}
+	rows, cols, ok := s.LastView()
+	if !ok || !reflect.DeepEqual(rows, []int{40, 50}) || !reflect.DeepEqual(cols, []int{2, 4}) {
+		t.Fatalf("LastView = %v/%v/%v, want the second view", rows, cols, ok)
+	}
+}
+
+func TestDrillDownValidatesAnchor(t *testing.T) {
+	m := NewManager(0)
+	s, err := m.Create("flights", 1, 50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &fakeExplorer{scope: []int{1, 2, 3}}
+	if _, err := s.DrillDown(ex, 10, -1); err == nil {
+		t.Fatal("drill-down before any view was not refused")
+	} else if !strings.Contains(err.Error(), "run a select first") {
+		t.Fatalf("no-view error %q lacks guidance", err)
+	}
+	s.RecordView([]int{1}, []int{10, 20, 30}, []int{0, 2})
+	if _, err := s.DrillDown(ex, 99, -1); err == nil || !strings.Contains(err.Error(), "anchor row 99") {
+		t.Fatalf("foreign anchor row not refused: %v", err)
+	}
+	if _, err := s.DrillDown(ex, 20, 5); err == nil || !strings.Contains(err.Error(), "anchor column 5") {
+		t.Fatalf("foreign anchor column not refused: %v", err)
+	}
+	scope, err := s.DrillDown(ex, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scope, []int{1, 2, 3}) {
+		t.Fatalf("scope = %v", scope)
+	}
+	if ex.row != 20 || ex.col != 2 || !reflect.DeepEqual(ex.viewCols, []int{0, 2}) {
+		t.Fatalf("explorer called with (%d, %d, %v)", ex.row, ex.col, ex.viewCols)
+	}
+	// Row anchor: col < 0 passes through without column validation.
+	if _, err := s.DrillDown(ex, 30, -1); err != nil {
+		t.Fatal(err)
+	}
+	if ex.col != -1 {
+		t.Fatalf("row anchor delegated col %d, want -1", ex.col)
+	}
+}

@@ -80,6 +80,16 @@ func EmptyStrata(numItems int) []StratumMin {
 // the phase-2 candidate list. The scan streams cs block by block, exactly
 // like core's single-store scan restricted to this row range.
 func Scan(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budget int, seed int64) Summary {
+	return ScanFiltered(b, cs, start, cols, budget, seed, nil)
+}
+
+// ScanFiltered is Scan restricted to the rows whose local-id entry in keep
+// is true (keep == nil keeps every row). Rows filtered out contribute to
+// neither phase, so the merged result equals a single-store scan over just
+// the matching rows: both sampler phases are per-row min/top-k reductions,
+// and dropping a row from every shard's reduction is the same as dropping
+// it from the global one.
+func ScanFiltered(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budget int, seed int64, keep []bool) Summary {
 	strata := EmptyStrata(b.NumItems())
 	n := 0
 	if cs != nil {
@@ -92,6 +102,18 @@ func Scan(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budge
 	for i := range rowH {
 		rowH[i] = RowHash(seed, int64(start+i))
 	}
+	matched := n
+	if keep != nil {
+		matched = 0
+		for _, k := range keep {
+			if k {
+				matched++
+			}
+		}
+	}
+	if matched == 0 {
+		return Summary{Strata: strata}
+	}
 	var scratch []uint16
 	br := cs.BlockRows()
 	for _, c := range cols {
@@ -101,6 +123,9 @@ func Scan(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budge
 			scratch = codes
 			off := blk * br
 			for i, code := range codes {
+				if keep != nil && !keep[off+i] {
+					continue
+				}
 				s := base + int32(code)
 				r := int64(start + off + i)
 				h := rowH[off+i]
@@ -113,7 +138,7 @@ func Scan(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budge
 
 	// Phase-2 candidates: the shard's budget smallest (hash, row) pairs,
 	// via the same bounded max-heap core uses (no full sort of the shard).
-	rem := min(budget, n)
+	rem := min(budget, matched)
 	heap := make([]HashRow, 0, rem)
 	greater := func(a, b HashRow) bool {
 		if a.Hash != b.Hash {
@@ -139,6 +164,9 @@ func Scan(b *binning.Binned, cs binning.CodeSource, start int, cols []int, budge
 		}
 	}
 	for i := 0; i < n; i++ {
+		if keep != nil && !keep[i] {
+			continue
+		}
 		hr := HashRow{Hash: rowH[i], Row: int64(start + i)}
 		if len(heap) < rem {
 			heap = append(heap, hr)
@@ -222,18 +250,39 @@ func (s Summary) CandidateRows() []int64 {
 // the smallest unpicked (hash, row) candidates. The result is sorted
 // ascending — byte-identical to the single-scan sampler's output.
 func FinishSample(strata []StratumMin, cands []HashRow, budget int) []int {
+	return FinishSampleBiased(strata, cands, budget, nil)
+}
+
+// FinishSampleBiased is FinishSample with session coverage bias: phase 1
+// serves the strata whose item id covered reports false first (ascending),
+// then the already-covered strata (ascending), so a drill-down's budget
+// prefers rows representing strata the session has not yet shown. covered
+// == nil restores the unbiased order exactly.
+func FinishSampleBiased(strata []StratumMin, cands []HashRow, budget int, covered func(item int) bool) []int {
 	picked := make(map[int64]bool, budget)
 	sample := make([]int, 0, budget)
-	for s := range strata {
+	passes := [2]bool{false, true}
+	for _, wantCovered := range passes {
 		if len(sample) >= budget {
 			break
 		}
-		r := strata[s].Row
-		if r < 0 || picked[r] {
-			continue
+		for s := range strata {
+			if len(sample) >= budget {
+				break
+			}
+			if covered != nil && covered(s) != wantCovered {
+				continue
+			}
+			r := strata[s].Row
+			if r < 0 || picked[r] {
+				continue
+			}
+			picked[r] = true
+			sample = append(sample, int(r))
 		}
-		picked[r] = true
-		sample = append(sample, int(r))
+		if covered == nil {
+			break
+		}
 	}
 	if rem := budget - len(sample); rem > 0 {
 		rest := make([]HashRow, 0, len(cands))

@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
+
+	"subtab/internal/query"
 )
 
 // Checksummed request/response codec for the shard-exec HTTP endpoints
@@ -14,7 +17,11 @@ import (
 // row the summary references — the coordinator finishes the whole
 // selection from one round trip per shard.
 
-const wireVersion uint16 = 1
+// Version history: v1 was the unfiltered sampler; v2 adds predicate
+// pushdown (SampleRequest.Preds, SampleResponse.Matched). Peers on
+// different versions reject each other's frames outright — a mixed fleet
+// fails loudly instead of silently sampling unfiltered.
+const wireVersion uint16 = 2
 
 var (
 	reqMagic  = [4]byte{'S', 'B', 'S', 'Q'}
@@ -24,20 +31,28 @@ var (
 // SampleRequest asks a peer to Scan one shard it owns. Checksum is the
 // shard store's identity from the coordinator's map — a peer whose file
 // disagrees rejects the request rather than contributing skewed minima.
+// Preds, when non-empty, is a conjunction the peer evaluates shard-locally
+// (code-level with residual cell checks) before sampling, so only matching
+// rows contribute minima and candidates.
 type SampleRequest struct {
 	Checksum uint32
 	Seed     int64
 	Budget   int
 	Cols     []int
+	Preds    []query.Predicate
 }
 
 // SampleResponse is the peer's Summary plus the referenced rows' codes:
 // Rows lists the summary's candidate rows (sorted, global ids) and
-// Codes[c][k] is table column c's code for Rows[k].
+// Codes[c][k] is table column c's code for Rows[k]. Matched counts the
+// shard's rows satisfying the request's predicates (all rows when the
+// request carried none) — the coordinator sums it to gate scaled mode on
+// the filtered population, not the table size.
 type SampleResponse struct {
 	Summary Summary
 	Rows    []int64
 	Codes   [][]uint16
+	Matched int
 }
 
 // Marshal encodes the request.
@@ -51,6 +66,13 @@ func (r *SampleRequest) Marshal() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Cols)))
 	for _, c := range r.Cols {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Preds)))
+	for _, p := range r.Preds {
+		buf = appendStr(buf, p.Col)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Op))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Num))
+		buf = appendStr(buf, p.Str)
 	}
 	return appendCRC(buf)
 }
@@ -74,6 +96,19 @@ func UnmarshalSampleRequest(raw []byte) (*SampleRequest, error) {
 	r.Cols = make([]int, nCols)
 	for i := range r.Cols {
 		r.Cols[i] = int(int32(d.u32()))
+	}
+	nPreds := int(d.u32())
+	if nPreds < 0 || nPreds > 1<<16 {
+		return nil, fmt.Errorf("%w: sample request with %d predicates", ErrCorrupt, nPreds)
+	}
+	if nPreds > 0 {
+		r.Preds = make([]query.Predicate, nPreds)
+		for i := range r.Preds {
+			r.Preds[i].Col = d.str()
+			r.Preds[i].Op = query.Op(d.u16())
+			r.Preds[i].Num = math.Float64frombits(d.u64())
+			r.Preds[i].Str = d.str()
+		}
 	}
 	if err := d.finish("sample request"); err != nil {
 		return nil, err
@@ -110,6 +145,7 @@ func (r *SampleResponse) Marshal() []byte {
 			buf = binary.LittleEndian.AppendUint16(buf, v)
 		}
 	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Matched))
 	return appendCRC(buf)
 }
 
@@ -159,6 +195,7 @@ func UnmarshalSampleResponse(raw []byte) (*SampleResponse, error) {
 		}
 		r.Codes[c] = col
 	}
+	r.Matched = int(int64(d.u64()))
 	if err := d.finish("sample response"); err != nil {
 		return nil, err
 	}
@@ -168,6 +205,12 @@ func UnmarshalSampleResponse(raw []byte) (*SampleResponse, error) {
 // appendCRC appends the CRC-32C of buf to buf.
 func appendCRC(buf []byte) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// appendStr appends a length-prefixed string (the wireDecoder.str framing).
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
 }
 
 // checkFrame verifies length, magic, version and trailing CRC, returning
